@@ -1,0 +1,46 @@
+"""Shared infrastructure of the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper's
+evaluation (see DESIGN.md §4) and prints paper-vs-measured values.
+``REPRO_BENCH_NRANKS`` scales the runs (default 64, the paper's test
+bed; set e.g. 16 for a quick pass).
+
+Experiments are cached per session: the same traces/replays back all
+figures, exactly as one tracer run backs the whole paper.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.pipeline import AppExperiment
+
+#: The paper's six applications (Table I order).
+POOL = ("sweep3d", "pop", "alya", "specfem3d", "bt", "cg")
+
+NRANKS = int(os.environ.get("REPRO_BENCH_NRANKS", "64"))
+
+_cache: dict[tuple, AppExperiment] = {}
+
+
+def get_experiment(app: str, nranks: int | None = None, **kwargs) -> AppExperiment:
+    """Session-cached AppExperiment (traces are expensive; share them)."""
+    key = (app, nranks or NRANKS, tuple(sorted(kwargs.items())))
+    if key not in _cache:
+        _cache[key] = AppExperiment(app, nranks=nranks or NRANKS, **kwargs)
+    return _cache[key]
+
+
+@pytest.fixture(scope="session")
+def nranks() -> int:
+    return NRANKS
+
+
+def print_block(title: str, lines: list[str]) -> None:
+    """Uniform result block in the benchmark log."""
+    bar = "=" * max(len(title) + 4, 40)
+    print(f"\n{bar}\n| {title}\n{bar}")
+    for line in lines:
+        print(line)

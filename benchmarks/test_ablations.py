@@ -1,0 +1,170 @@
+"""Ablations of the design choices called out in DESIGN.md §5.
+
+Not figures of the paper — these probe the mechanisms behind them:
+
+* chunk-count sweep (the paper fixes 4 chunks; what if not?);
+* disabling each overlap mechanism separately;
+* decomposed vs analytic collective replay;
+* determinism of the trace-driven methodology.
+"""
+
+import pytest
+
+from repro.core.ideal import ideal_transform
+from repro.core.transform import OverlapConfig, overlap_transform
+from repro.dimemas.replay import simulate
+from repro.tracer import run_traced
+
+from conftest import get_experiment, print_block
+
+CHUNK_COUNTS = (1, 2, 4, 8, 16)
+
+
+def test_ablation_chunk_count_sweep(benchmark):
+    """Ideal-pattern Sweep3D vs chunk count: finer chunks pipeline the
+    wavefront deeper until per-chunk latency bites."""
+    exp = get_experiment("sweep3d")
+    tr = exp.trace("original")
+    base = exp.duration("original")
+
+    def sweep():
+        out = {}
+        for ch in CHUNK_COUNTS:
+            t, _ = ideal_transform(tr, chunks=ch)
+            out[ch] = simulate(t, exp.machine).duration
+        return out
+
+    durs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    speedups = {ch: base / d for ch, d in durs.items()}
+    # chunking at all must beat no chunking; 4 chunks (the paper's
+    # choice) captures most of the benefit
+    assert speedups[4] > speedups[1]
+    assert speedups[4] >= 0.7 * max(speedups.values())
+    print_block("Ablation — chunk count (sweep3d, ideal)", [
+        f"chunks={ch:>2}: speedup {speedups[ch]:.4f}" for ch in CHUNK_COUNTS
+    ])
+
+
+def test_ablation_mechanisms(benchmark):
+    """Advancing sends vs postponing receptions vs double buffering."""
+    exp = get_experiment("cg")
+    tr = exp.trace("original")
+    base = exp.duration("original")
+
+    configs = {
+        "full": OverlapConfig(),
+        "no-advance": OverlapConfig(advance_sends=False),
+        "no-postpone": OverlapConfig(postpone_receptions=False),
+        "single-buffer": OverlapConfig(double_buffering=False),
+        "chunk-only": OverlapConfig(advance_sends=False,
+                                    postpone_receptions=False),
+    }
+
+    def run_all():
+        out = {}
+        for name, cfg in configs.items():
+            t, _ = overlap_transform(tr, cfg)
+            out[name] = base / simulate(t, exp.machine).duration
+        return out
+
+    s = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    # the full mechanism set is at least as good as any single ablation
+    assert s["full"] >= max(v for k, v in s.items() if k != "full") - 0.02
+    # disabling everything but chunking loses (almost) all the benefit
+    assert s["chunk-only"] <= s["full"]
+    print_block("Ablation — overlap mechanisms (cg, real)", [
+        f"{name:>14}: speedup {val:.4f}" for name, val in s.items()
+    ])
+
+
+def test_ablation_collective_model(benchmark):
+    """Decomposed point-to-point collectives (paper §III-C) vs the
+    analytic Dimemas collective model."""
+    from repro.apps import get_app
+
+    app = get_app("alya", iterations=2, krylov_iters=4)
+
+    def run_both():
+        decomposed = run_traced(app, 16, decompose_collectives=True).trace
+        analytic = run_traced(app, 16, decompose_collectives=False).trace
+        exp = get_experiment("alya")
+        d = simulate(decomposed, exp.machine).duration
+        a = simulate(analytic, exp.machine).duration
+        return d, a
+
+    d, a = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    # Both models must agree on the order of magnitude: the analytic
+    # formula approximates the decomposed tree.
+    assert 0.2 <= a / d <= 5.0, (a, d)
+    print_block("Ablation — collective model (alya)", [
+        f"decomposed point-to-point : {d * 1e3:.3f} ms",
+        f"analytic Dimemas model    : {a * 1e3:.3f} ms",
+        f"ratio                     : {a / d:.3f}",
+    ])
+
+
+def test_ablation_trace_determinism(benchmark):
+    """The methodology's premise: tracing is deterministic, so the
+    reconstruction is a function of (application, platform) only."""
+    from repro.apps import get_app
+    from repro.trace import dim
+
+    def trace_twice():
+        a = get_app("pop", steps=1).trace(nranks=16).trace
+        b = get_app("pop", steps=1).trace(nranks=16).trace
+        return dim.dumps(a), dim.dumps(b)
+
+    a, b = benchmark.pedantic(trace_twice, rounds=1, iterations=1)
+    assert a == b
+    print_block("Ablation — determinism", [
+        f"two independent tracer runs: byte-identical "
+        f"({len(a)} bytes of trace)"])
+
+
+def test_ablation_adaptive_chunking(benchmark):
+    """Extension: size-adaptive chunk counts vs the paper's fixed 4.
+
+    Small messages avoid per-chunk latency; large ones split finer.
+    """
+    exp = get_experiment("sweep3d")
+    tr = exp.trace("original")
+    base = exp.duration("original")
+
+    def run_both():
+        fixed, _ = overlap_transform(tr, OverlapConfig(chunks=4))
+        adaptive, _ = overlap_transform(
+            tr, OverlapConfig(chunks=16, chunk_bytes=2048))
+        return (simulate(fixed, exp.machine).duration,
+                simulate(adaptive, exp.machine).duration)
+
+    d_fixed, d_adaptive = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    # both schemes must stay close to the fixed-4 baseline behaviour
+    assert d_adaptive <= d_fixed * 1.1
+    print_block("Ablation — adaptive chunking (sweep3d, real)", [
+        f"fixed 4 chunks        : speedup {base / d_fixed:.4f}",
+        f"adaptive (<=16, 2KiB) : speedup {base / d_adaptive:.4f}",
+    ])
+
+
+def test_ablation_phase_level_headroom(benchmark):
+    """The paper's future work: how much compute could phase-level
+    restructuring move across communication, per application?"""
+    from repro.core.phases import phase_overlap_potential
+
+    def collect():
+        out = {}
+        for app in ("sweep3d", "bt", "cg"):
+            tr = get_experiment(app).trace("original")
+            out[app] = phase_overlap_potential(tr, channel=0)
+        return out
+
+    pots = benchmark.pedantic(collect, rounds=1, iterations=1)
+    # BT's copy-in behaviour leaves phase-level headroom where
+    # MPI-level postponing is exhausted; Sweep3D has almost none.
+    assert pots["bt"].independent_fraction > pots["sweep3d"].independent_fraction
+    print_block("Ablation — phase-level overlap headroom (future work)", [
+        f"{app:>10}: independent consumption "
+        f"{p.independent_fraction * 100:5.1f}%  "
+        f"reorderable {p.reorderable_seconds * 1e3:8.3f} ms"
+        for app, p in pots.items()
+    ])

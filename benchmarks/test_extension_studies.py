@@ -1,0 +1,68 @@
+"""Extension studies beyond the paper's figures.
+
+* strong-scaling ladder of the overlap benefit (the paper motivates
+  overlap "specially at large scale" — this measures the trend);
+* network sweeps with crossover detection;
+* SMP node-packing study (Dimemas' multi-core model).
+"""
+
+import pytest
+from dataclasses import replace
+
+from repro.experiments.scaling import scaling_study
+from repro.experiments.sweeps import ascii_series, bandwidth_sweep
+
+from conftest import get_experiment, print_block
+
+
+def test_extension_scaling_ladder(benchmark):
+    """Sweep3D ideal-pattern benefit grows with scale (deeper wavefront)."""
+    def run():
+        return scaling_study("sweep3d", rank_counts=(4, 16, 64))
+
+    study = benchmark.pedantic(run, rounds=1, iterations=1)
+    ideal = study.series("speedup_ideal")
+    # the wavefront is deeper at higher rank counts: monotone trend
+    assert ideal[-1] >= ideal[0]
+    print_block("Extension — strong scaling (sweep3d)", [study.render()])
+
+
+def test_extension_bandwidth_sweep_crossover(benchmark):
+    """Where does overlap stop paying as bandwidth rises?"""
+    exp = get_experiment("cg")
+
+    def run():
+        return bandwidth_sweep(exp, [31.25, 62.5, 125.0, 250.0, 500.0, 1000.0])
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    # at very high bandwidth there is little left to hide
+    s = sweep.speedups("real")
+    assert s[-1] <= max(s) + 1e-9
+    print_block("Extension — bandwidth sweep (cg)", [
+        ascii_series(sweep, width=48, height=10),
+        "",
+        "real-pattern speedups: " + "  ".join(
+            f"{x:g}:{v:.3f}" for x, v in zip(sweep.xs, s)),
+        f"crossover (speedup < 1.001): {sweep.crossover('real')}",
+    ])
+
+
+def test_extension_smp_packing(benchmark):
+    """Packing ranks onto SMP nodes shifts the bottleneck off the network."""
+    exp = get_experiment("pop")
+    trace = exp.trace("original")
+
+    def run():
+        from repro.dimemas.replay import simulate
+        out = {}
+        for cores in (1, 4, 8):
+            cfg = replace(exp.machine, cores_per_node=cores,
+                          intra_latency=1e-6)
+            out[cores] = simulate(trace, cfg).duration
+        return out
+
+    durs = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert durs[8] <= durs[4] <= durs[1]
+    print_block("Extension — SMP packing (pop)", [
+        f"{c:>2} cores/node: {d * 1e3:9.3f} ms" for c, d in durs.items()
+    ])

@@ -1,0 +1,56 @@
+"""Figure 6(b) — bandwidth relaxation enabled by overlap.
+
+Paper §V-B: *"in order to achieve the performance of the non-overlapped
+execution on 250MB/s, the overlapped execution needs much less
+bandwidth.  Again, Sweep3D benefits from overlap the most and allows to
+reduce the network bandwidth to 11.75MB/s."*
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.bandwidth import relaxation_bandwidth
+
+from conftest import POOL, get_experiment, print_block
+
+BASELINE = 250.0
+
+
+@pytest.mark.parametrize("app", POOL)
+def test_fig6b_per_app_relaxation(benchmark, app):
+    exp = get_experiment(app)
+
+    def search():
+        return (relaxation_bandwidth(exp, "real"),
+                relaxation_bandwidth(exp, "ideal"))
+
+    real_bw, ideal_bw = benchmark.pedantic(search, rounds=1, iterations=1)
+
+    # Overlap can never *require more* than the baseline bandwidth.
+    assert real_bw <= BASELINE * 1.01
+    assert ideal_bw <= BASELINE * 1.01
+    # The ideal schedule relaxes at least as far as the real one.
+    assert ideal_bw <= real_bw * 1.05
+
+    print_block(f"Figure 6(b) — {app}", [
+        f"relaxation bandwidth (real) : {real_bw:8.2f} MB/s",
+        f"relaxation bandwidth (ideal): {ideal_bw:8.2f} MB/s",
+        f"baseline                    : {BASELINE:8.2f} MB/s",
+    ])
+
+
+def test_fig6b_sweep3d_relaxes_most(benchmark):
+    def collect():
+        return {app: relaxation_bandwidth(get_experiment(app), "ideal")
+                for app in POOL}
+
+    bw = benchmark.pedantic(collect, rounds=1, iterations=1)
+    # Paper: Sweep3D down to 11.75 MB/s — by far the deepest relaxation
+    # among the structured-communication codes.
+    assert bw["sweep3d"] < 60.0, bw
+    assert bw["sweep3d"] <= min(bw[a] for a in ("pop", "cg", "alya")) * 1.05
+    print_block("Figure 6(b) — cross-pool", [
+        f"{a:>10}: ideal-pattern relaxation to {bw[a]:8.2f} MB/s"
+        for a in POOL
+    ] + ["", "paper: Sweep3D relaxes to 11.75 MB/s (deepest)"])

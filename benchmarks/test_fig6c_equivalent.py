@@ -1,0 +1,77 @@
+"""Figure 6(c) — the overlap's equivalent in increased bandwidth.
+
+Paper §V-B: *"the benefits achieved by applying automatic overlap
+sometimes cannot be reached by simply increasing the network
+bandwidth.  The result of Sweep3D shows that for some applications the
+performance of the overlapped execution cannot be achieved with
+non-overlapped execution on any bandwidth.  ...overlap brings little
+speedup in SPECFEM3D, but the benefits achieved by overlap are
+equivalent to ... increasing the network bandwidth almost four
+times."*
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.bandwidth import equivalent_bandwidth
+
+from conftest import POOL, get_experiment, print_block
+
+BASELINE = 250.0
+
+
+def _fmt(x: float) -> str:
+    return "inf" if math.isinf(x) else f"{x:.1f}"
+
+
+@pytest.mark.parametrize("app", POOL)
+def test_fig6c_per_app_equivalent_bandwidth(benchmark, app):
+    exp = get_experiment(app)
+
+    def search():
+        return (equivalent_bandwidth(exp, "real"),
+                equivalent_bandwidth(exp, "ideal"))
+
+    real_bw, ideal_bw = benchmark.pedantic(search, rounds=1, iterations=1)
+
+    # Matching an execution that is at least as fast always needs at
+    # least the baseline bandwidth.
+    assert math.isinf(real_bw) or real_bw >= BASELINE * 0.99
+    assert math.isinf(ideal_bw) or ideal_bw >= BASELINE * 0.99
+
+    print_block(f"Figure 6(c) — {app}", [
+        f"equivalent bandwidth (real) : {_fmt(real_bw):>8} MB/s"
+        f"  ({'inf' if math.isinf(real_bw) else f'{real_bw / BASELINE:.2f}x'})",
+        f"equivalent bandwidth (ideal): {_fmt(ideal_bw):>8} MB/s"
+        f"  ({'inf' if math.isinf(ideal_bw) else f'{ideal_bw / BASELINE:.2f}x'})",
+    ])
+
+
+def test_fig6c_headline_claims(benchmark):
+    def collect():
+        return {
+            "sweep3d_ideal": equivalent_bandwidth(get_experiment("sweep3d"), "ideal"),
+            "sweep3d_real": equivalent_bandwidth(get_experiment("sweep3d"), "real"),
+            "specfem_real": equivalent_bandwidth(get_experiment("specfem3d"), "real"),
+        }
+
+    bw = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    # Sweep3D's ideal-pattern benefit is unreachable by bandwidth alone
+    # (paper: tends to infinity for both patterns; our real-pattern
+    # equivalent is large but finite — see EXPERIMENTS.md).
+    assert math.isinf(bw["sweep3d_ideal"])
+    assert bw["sweep3d_real"] > BASELINE * 1.2
+
+    # SPECFEM3D: small speedup worth ~4x bandwidth.
+    factor = bw["specfem_real"] / BASELINE
+    assert 1.5 <= factor <= 12.0 or math.isinf(bw["specfem_real"])
+
+    print_block("Figure 6(c) — headline claims", [
+        f"Sweep3D ideal equivalent : {_fmt(bw['sweep3d_ideal'])} (paper: inf)",
+        f"Sweep3D real equivalent  : {_fmt(bw['sweep3d_real'])} (paper: inf; "
+        "ours is large but finite)",
+        f"SPECFEM3D real equivalent: {_fmt(bw['specfem_real'])} MB/s = "
+        f"{bw['specfem_real'] / BASELINE:.2f}x (paper: ~4x)",
+    ])

@@ -1,0 +1,49 @@
+"""Table I — Dimemas bus counts per application.
+
+Paper §IV: bus counts are calibrated so the simulation matches real
+MareNostrum runs.  Without the real machine, this benchmark times the
+calibration procedure itself and reports, per application, the paper's
+value next to the saturation knee of our simulated network (the bus
+count beyond which more concurrency no longer helps), verifying the
+monotonicity the procedure relies on.
+"""
+
+import pytest
+
+from repro.dimemas.machine import PAPER_BUSES
+from repro.experiments.calibration import bus_sensitivity, calibrate_buses
+
+from conftest import POOL, get_experiment, print_block
+
+COUNTS = [1, 2, 4, 8, 16, 32]
+
+
+@pytest.mark.parametrize("app", POOL)
+def test_table1_bus_calibration(benchmark, app):
+    exp = get_experiment(app)
+
+    sens = benchmark.pedantic(
+        bus_sensitivity, args=(exp, COUNTS), rounds=1, iterations=1,
+    )
+
+    # Monotone non-increasing in the bus count (calibration premise).
+    durs = [sens[c] for c in COUNTS]
+    assert all(a >= b - 1e-12 for a, b in zip(durs, durs[1:])), durs
+
+    # The calibration procedure recovers a bus count reproducing a
+    # reference made at the paper's Table I setting.
+    reference = exp.duration("original", buses=PAPER_BUSES[app])
+    recovered = calibrate_buses(exp, reference, tolerance=0.02)
+    assert recovered is not None
+    assert exp.duration("original", buses=recovered) <= reference * 1.03
+
+    knee = next(
+        (c for c in COUNTS if sens[c] <= sens[0] * 1.02), COUNTS[-1]
+    )
+    print_block(f"Table I — {app}", [
+        f"paper bus count     : {PAPER_BUSES[app]}",
+        f"calibrated (ours)   : {recovered}",
+        f"saturation knee     : {knee}",
+        "sensitivity         : " + "  ".join(
+            f"{c}:{sens[c] * 1e3:.2f}ms" for c in COUNTS),
+    ])

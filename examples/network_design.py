@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Network design study: how much network can overlap save?
+
+The paper's introduction motivates overlap economically: *"as a
+parallel machine deploys higher bandwidth, the cost of its network
+becomes a significant part of the total cost of the whole system"* —
+overlap lets a cheaper network deliver the same application
+performance.
+
+This example plays network architect: given an application, it sweeps
+candidate (bandwidth, buses) designs, prices them with a simple cost
+model, and finds the cheapest design that preserves the reference
+performance — first for the legacy code, then for the automatically
+overlapped one.
+
+    python examples/network_design.py [--app cg] [--nranks 16]
+"""
+
+import argparse
+
+from repro.experiments import AppExperiment
+
+#: Candidate link bandwidths (MB/s) and bus counts.
+BANDWIDTHS = (31.25, 62.5, 125.0, 250.0, 500.0)
+BUSES = (2, 4, 8, 16, 32)
+
+
+def network_cost(bandwidth: float, buses: int) -> float:
+    """Toy network cost: proportional to aggregate wire capacity."""
+    return bandwidth * buses / 1000.0
+
+
+def cheapest_design(exp: AppExperiment, variant: str, target: float):
+    """Cheapest (bandwidth, buses) keeping the makespan under target."""
+    best = None
+    for bw in BANDWIDTHS:
+        for buses in BUSES:
+            d = exp.duration(variant, bandwidth_mbps=bw, buses=buses)
+            if d <= target * 1.001:
+                cost = network_cost(bw, buses)
+                if best is None or cost < best[0]:
+                    best = (cost, bw, buses, d)
+    return best
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--app", default="cg")
+    ap.add_argument("--nranks", type=int, default=16)
+    args = ap.parse_args()
+
+    exp = AppExperiment(args.app, nranks=args.nranks)
+    reference = exp.duration("original")  # Table I platform, 250 MB/s
+    print(f"{args.app} on {args.nranks} ranks — reference makespan "
+          f"{reference * 1e3:.3f} ms on the paper's platform "
+          f"(250 MB/s, {exp.machine.buses or 'unlimited'} buses)\n")
+
+    for variant, label in (("original", "legacy (non-overlapped)"),
+                           ("real", "automatically overlapped")):
+        best = cheapest_design(exp, variant, reference)
+        if best is None:
+            print(f"{label:>28}: no candidate design reaches the reference")
+            continue
+        cost, bw, buses, d = best
+        print(f"{label:>28}: {bw:7.2f} MB/s x {buses:>2} buses "
+              f"(cost {cost:6.2f}, makespan {d * 1e3:.3f} ms)")
+
+    print("\nThe gap between the two rows is the network budget that")
+    print("communication-computation overlap buys back (paper §I, §V-B).")
+
+
+if __name__ == "__main__":
+    main()

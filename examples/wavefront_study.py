@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Wavefront overlap study: the paper's Sweep3D headline, interactive.
+
+Sweep3D is where the paper finds the largest ideal-pattern benefit:
+chunking the k-block boundary messages creates finer-grain
+dependencies between the pipeline stages.  This example reproduces
+that study end to end:
+
+1. measure the production/consumption patterns (Table II row);
+2. sweep the chunk count (ablation of the paper's fixed choice of 4);
+3. sweep the network bandwidth to find the relaxation point — how
+   cheap a network sustains the original performance once overlap is
+   on (paper Figure 6(b): 11.75 MB/s);
+4. export an SVG timeline pair for visual inspection.
+
+    python examples/wavefront_study.py [--nranks 16]
+"""
+
+import argparse
+
+from repro.core import ideal_transform, overlap_transform
+from repro.dimemas import simulate
+from repro.experiments import AppExperiment, pattern_row, relaxation_bandwidth
+from repro.paraver import write_svg
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--nranks", type=int, default=16)
+    args = ap.parse_args()
+
+    exp = AppExperiment("sweep3d", nranks=args.nranks)
+
+    # -- 1. measured patterns ------------------------------------------------
+    row = pattern_row(exp)
+    print("Sweep3D production pattern (fraction of the production phase):")
+    print(f"  first element {row.production.first_element:.3f}  "
+          f"quarter {row.production.quarter:.3f}  "
+          f"half {row.production.half:.3f}  whole {row.production.whole:.3f}")
+    print(f"  (paper Table II: 0.663 / 0.948 / 0.982 / 0.998)")
+
+    # -- 2. chunk-count sweep --------------------------------------------------
+    base = exp.duration("original")
+    print(f"\noriginal makespan: {base * 1e3:.3f} ms")
+    print("ideal-pattern overlap vs chunk count:")
+    trace = exp.trace("original")
+    for chunks in (1, 2, 4, 8, 16):
+        t, _ = ideal_transform(trace, chunks=chunks)
+        d = simulate(t, exp.machine).duration
+        print(f"  chunks={chunks:>2}: {d * 1e3:8.3f} ms  "
+              f"speedup {base / d:.3f}")
+
+    # -- 3. bandwidth relaxation ---------------------------------------------
+    relax = relaxation_bandwidth(exp, "ideal")
+    print(f"\nbandwidth relaxation (ideal patterns): the overlapped "
+          f"execution matches the\noriginal 250 MB/s performance down to "
+          f"{relax:.1f} MB/s  (paper: 11.75 MB/s)")
+
+    # -- 4. timelines ------------------------------------------------------------
+    write_svg(exp.simulate("original"), "sweep3d_original.svg",
+              title="Sweep3D — non-overlapped")
+    write_svg(exp.simulate("ideal"), "sweep3d_ideal.svg",
+              title="Sweep3D — ideal-pattern overlap")
+    print("\nwrote sweep3d_original.svg and sweep3d_ideal.svg")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: enables legacy editable installs on environments whose
+setuptools predates bundled bdist_wheel (metadata lives in pyproject.toml)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,24 @@
+"""repro — reproduction of Subotic et al., "A Simulation Framework to
+Automatically Analyze the Communication-Computation Overlap in
+Scientific Applications" (IEEE CLUSTER 2010).
+
+Pipeline (mirrors the paper's Figure 3):
+
+1. :mod:`repro.smpi` + :mod:`repro.tracer` — run a simulated MPI
+   application under instrumentation (the Valgrind stage) and emit the
+   original trace with per-element access profiles;
+2. :mod:`repro.core` — the paper's contribution: the automatic overlap
+   transformation (message chunking, advancing sends, double buffering,
+   post-postponed receptions) plus the ideal-pattern variant and
+   production/consumption pattern analysis;
+3. :mod:`repro.dimemas` — trace-driven replay on a configurable
+   platform (CPU ratio, latency, bandwidth, buses, ports);
+4. :mod:`repro.paraver` — timelines, Gantt/SVG rendering, profiles.
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

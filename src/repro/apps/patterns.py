@@ -1,0 +1,120 @@
+"""Access-pattern generators for the application skeletons.
+
+We cannot run the paper's binaries under Valgrind, so the skeletons
+reproduce each application's measured production/consumption behaviour
+(paper Table II and Figure 5) through parameterized access-stream
+generators.  The communication *structure* of each skeleton (who talks
+to whom, how much, in what order) is modelled from the real code; the
+*placement of accesses inside compute intervals* is calibrated to the
+paper's measurements via the anchor profiles below.
+
+Anchors are ``(buffer_fraction, interval_fraction)`` pairs: a monotone
+per-element time profile is interpolated through them, which makes the
+Table II reductions land exactly on the anchor values:
+
+* production: ``max(last_store[: f*n]) = interp(f)`` and
+  ``min(last_store) = interp(0)``;
+* consumption: ``min(first_load[f*n :]) = interp(f)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "anchored_times",
+    "burst_touches",
+    "consumption_batches",
+    "production_batches",
+    "shift_anchors",
+]
+
+
+def shift_anchors(
+    anchors: list[tuple[float, float]], delta: float,
+) -> list[tuple[float, float]]:
+    """Shift a profile's interval fractions by ``delta`` (clipped to [0, 1]).
+
+    Real codes produce their different boundary buffers at slightly
+    different points of the computation; shifting the anchor profile
+    per buffer models that spread while keeping the per-application
+    average on the Table II value (use symmetric deltas).
+    """
+    return [(x, float(np.clip(y + delta, 0.0, 1.0))) for x, y in anchors]
+
+
+def anchored_times(n: int, anchors: list[tuple[float, float]]) -> np.ndarray:
+    """Monotone per-element access fractions through the given anchors.
+
+    ``anchors`` maps buffer fraction -> interval fraction, e.g. the
+    paper's Sweep3D production row ``[(0, .663), (.25, .948),
+    (.5, .982), (1, .998)]``.  Element ``e`` gets the interpolated time
+    at buffer fraction ``e / (n-1)``.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    xs = np.array([a[0] for a in anchors], dtype=float)
+    ys = np.array([a[1] for a in anchors], dtype=float)
+    if np.any(np.diff(xs) < 0) or np.any(np.diff(ys) < 0):
+        raise ValueError("anchors must be non-decreasing in both coordinates")
+    if np.any(ys < 0.0) or np.any(ys > 1.0):
+        raise ValueError("interval fractions must lie in [0, 1]")
+    frac = np.linspace(0.0, 1.0, n) if n > 1 else np.zeros(1)
+    return np.interp(frac, xs, ys)
+
+
+def burst_touches(n: int, at: float) -> tuple[np.ndarray, np.ndarray]:
+    """The whole buffer accessed in one instant (``copy-in`` behaviour).
+
+    NAS-BT's consumption looks like this (paper Fig. 5(b)): *"all the
+    elements of the received buffer are loaded ..., each time in an
+    extremely short interval, implying that the data is copied to some
+    other location."*
+    """
+    return np.arange(n, dtype=np.intp), np.full(n, float(at))
+
+
+def production_batches(
+    n: int,
+    anchors: list[tuple[float, float]],
+    revisits: int = 0,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Store batches ``(offsets, at)`` for one production interval.
+
+    ``revisits`` adds that many earlier whole-buffer store passes
+    (values still being accumulated) before the final-version pass —
+    they do not move the last-store statistics but reproduce the dense
+    revisit clouds of Figure 5(a) in the recorded streams.
+    """
+    final = anchored_times(n, anchors)
+    batches: list[tuple[np.ndarray, np.ndarray]] = []
+    if revisits > 0:
+        earliest = float(final.min())
+        pass_times = np.linspace(0.05, max(earliest * 0.9, 0.05), revisits)
+        offs = np.arange(n, dtype=np.intp)
+        for t in pass_times:
+            batches.append((offs, np.full(n, float(min(t, 1.0)))))
+    batches.append((np.arange(n, dtype=np.intp), final))
+    return batches
+
+
+def consumption_batches(
+    n: int,
+    anchors: list[tuple[float, float]],
+    rereads: int = 0,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Load batches ``(offsets, at)`` for one consumption interval.
+
+    ``rereads`` adds later whole-buffer load passes (e.g. BT's four
+    copy bursts); they leave the first-load statistics unchanged.
+    """
+    first = anchored_times(n, anchors)
+    batches = [(np.arange(n, dtype=np.intp), first)]
+    if rereads > 0:
+        latest = float(first.max())
+        lo = min(latest + 0.02, 1.0)
+        pass_times = np.linspace(lo, min(lo + 0.1 * rereads, 1.0), rereads)
+        offs = np.arange(n, dtype=np.intp)
+        for t in pass_times:
+            batches.append((offs, np.full(n, float(t))))
+    return batches

@@ -1,0 +1,125 @@
+"""Randomized unstructured application (fuzzing / irregular topologies).
+
+The pool's six skeletons have regular, hand-modelled topologies.  Real
+unstructured-mesh codes talk over irregular neighbour graphs; this app
+generates one with :mod:`networkx` (seeded — fully deterministic) and
+runs a generic exchange-compute loop over it, with per-edge message
+sizes and per-rank work drawn from the same seed.
+
+Used by the property/robustness tests: whatever the graph, the whole
+pipeline (trace, transform, replay) must hold its invariants.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from ..smpi.api import Comm
+from .base import Application
+from .patterns import consumption_batches, production_batches
+
+__all__ = ["RandomSparse"]
+
+
+class RandomSparse(Application):
+    """Exchange-compute loop over a random connected neighbour graph.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the graph, the message sizes, and the work distribution.
+    degree:
+        Average vertex degree of the neighbour graph.
+    iterations:
+        Exchange rounds.
+    min_elements / max_elements:
+        Per-edge message size range (elements, doubles).
+    work:
+        Mean per-rank instructions per round (±50 % spread by rank).
+    late_production / early_consumption:
+        Anchor points of the access patterns (defaults: a typical
+        unfavourable code).
+    """
+
+    name = "randomsparse"
+    default_nranks = 16
+
+    def __init__(
+        self,
+        seed: int = 0,
+        degree: int = 3,
+        iterations: int = 3,
+        min_elements: int = 16,
+        max_elements: int = 2048,
+        work: int = 1_000_000,
+        late_production: float = 0.9,
+        early_consumption: float = 0.05,
+    ):
+        if degree < 1 or iterations < 1 or min_elements < 1:
+            raise ValueError("invalid RandomSparse parameters")
+        if max_elements < min_elements:
+            raise ValueError("max_elements must be >= min_elements")
+        if not (0 <= late_production <= 1 and 0 <= early_consumption <= 1):
+            raise ValueError("pattern anchors must lie in [0, 1]")
+        self.seed = seed
+        self.degree = degree
+        self.iterations = iterations
+        self.min_elements = min_elements
+        self.max_elements = max_elements
+        self.work = work
+        self.late_production = late_production
+        self.early_consumption = early_consumption
+
+    def topology(self, nranks: int) -> nx.Graph:
+        """The (deterministic) neighbour graph used at this scale."""
+        if nranks == 1:
+            g = nx.Graph()
+            g.add_node(0)
+            return g
+        edges = max(nranks - 1, (nranks * self.degree) // 2)
+        g = nx.gnm_random_graph(nranks, edges, seed=self.seed)
+        # ensure connectivity deterministically: chain the components
+        comps = [sorted(c) for c in nx.connected_components(g)]
+        for a, b in zip(comps, comps[1:]):
+            g.add_edge(a[0], b[0])
+        return g
+
+    def __call__(self, comm: Comm) -> dict:
+        g = self.topology(comm.size)
+        rng = np.random.default_rng(self.seed)  # same stream on all ranks
+        sizes = {
+            tuple(sorted(e)): int(rng.integers(self.min_elements,
+                                               self.max_elements + 1))
+            for e in sorted(g.edges())
+        }
+        works = rng.integers(self.work // 2, self.work * 3 // 2 + 1,
+                             size=comm.size)
+
+        peers = sorted(g.neighbors(comm.rank))
+        sbufs = {p: np.zeros(sizes[tuple(sorted((comm.rank, p)))])
+                 for p in peers}
+        rbufs = {p: np.zeros_like(b) for p, b in sbufs.items()}
+        prod_anchors = [(0.0, self.late_production), (1.0, 1.0)]
+        cons_anchors = [(0.0, self.early_consumption),
+                        (1.0, min(self.early_consumption + 0.1, 1.0))]
+
+        loads: list = []
+        for it in range(self.iterations):
+            comm.event("iteration", it)
+            stores = [
+                (b, o, a) for b in sbufs.values()
+                for o, a in production_batches(b.size, prod_anchors)
+            ]
+            comm.compute(int(works[comm.rank]), loads=loads, stores=stores)
+            reqs = [comm.Irecv(rbufs[p], p, tag=2) for p in peers]
+            for p in peers:
+                comm.send(sbufs[p], p, tag=2)
+            comm.waitall(reqs)
+            loads = [
+                (b, o, a) for b in rbufs.values()
+                for o, a in consumption_batches(b.size, cons_anchors)
+            ]
+        comm.allreduce(1.0)
+        return {"degree": len(peers),
+                "edges": sum(b.size for b in sbufs.values())}

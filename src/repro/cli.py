@@ -1,0 +1,220 @@
+"""Command-line front-ends of the framework.
+
+Four entry points mirror the tool chain of paper Figure 3:
+
+* ``repro-trace``    — run an application under the tracer and write
+  its Dimemas trace (the Valgrind stage);
+* ``repro-overlap``  — apply the overlap transformation to a trace
+  file (the tracer's second/third output);
+* ``repro-simulate`` — replay a trace on a configurable platform and
+  print/export the reconstructed timeline (the Dimemas stage);
+* ``repro-report``   — regenerate the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .apps import APPS, get_app
+from .core.ideal import ideal_transform
+from .core.transform import OverlapConfig, overlap_transform
+from .dimemas.machine import MachineConfig
+from .dimemas.replay import simulate
+from .paraver.gantt import render_gantt
+from .paraver.stats import comm_stats, profile_table
+from .trace import dim, prv
+
+__all__ = ["main_analyze", "main_overlap", "main_report", "main_simulate",
+           "main_trace"]
+
+
+def _machine_args(ap: argparse.ArgumentParser) -> None:
+    ap.add_argument("--bandwidth", type=float, default=250.0,
+                    help="link bandwidth in MB/s (default: 250, the paper's Myrinet)")
+    ap.add_argument("--latency", type=float, default=8e-6,
+                    help="message latency in seconds (default: 8 us)")
+    ap.add_argument("--buses", type=int, default=0,
+                    help="global bus count (0 = unlimited)")
+    ap.add_argument("--cpu-ratio", type=float, default=1.0,
+                    help="CPU time scaling of computation bursts")
+
+
+def _machine(args: argparse.Namespace) -> MachineConfig:
+    return MachineConfig(
+        bandwidth_mbps=args.bandwidth,
+        latency=args.latency,
+        buses=args.buses or None,
+        cpu_ratio=args.cpu_ratio,
+    )
+
+
+def main_trace(argv: list[str] | None = None) -> int:
+    """``repro-trace APP -n RANKS -o trace.dim``"""
+    ap = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Trace a pool application (the Valgrind stage).",
+    )
+    ap.add_argument("app", choices=sorted(APPS))
+    ap.add_argument("-n", "--nranks", type=int, default=16)
+    ap.add_argument("-o", "--output", required=True,
+                    help="output trace file (.dim)")
+    ap.add_argument("--mips", type=float, default=2300.0)
+    ap.add_argument("--streams", action="store_true",
+                    help="record full access streams (Figure 5 data)")
+    args = ap.parse_args(argv)
+
+    app = get_app(args.app)
+    run = app.trace(nranks=args.nranks, mips=args.mips,
+                    record_streams=args.streams)
+    dim.dump(run.trace, args.output)
+    print(f"traced {args.app} on {args.nranks} ranks -> {args.output} "
+          f"({run.trace.total_records()} records)")
+    return 0
+
+
+def main_overlap(argv: list[str] | None = None) -> int:
+    """``repro-overlap trace.dim -o overlapped.dim [--ideal]``"""
+    ap = argparse.ArgumentParser(
+        prog="repro-overlap",
+        description="Apply the automatic overlap transformation to a trace.",
+    )
+    ap.add_argument("trace")
+    ap.add_argument("-o", "--output", required=True)
+    ap.add_argument("--chunks", type=int, default=4,
+                    help="chunks per message (paper: 4)")
+    ap.add_argument("--ideal", action="store_true",
+                    help="generate the ideal-pattern trace instead")
+    ap.add_argument("--no-double-buffering", action="store_true")
+    args = ap.parse_args(argv)
+
+    trace = dim.load(args.trace)
+    if args.ideal:
+        out, stats = ideal_transform(
+            trace, chunks=args.chunks,
+            double_buffering=not args.no_double_buffering,
+        )
+    else:
+        out, stats = overlap_transform(trace, OverlapConfig(
+            chunks=args.chunks,
+            double_buffering=not args.no_double_buffering,
+        ))
+    dim.dump(out, args.output)
+    print(f"transformed {stats.messages_transformed}/{stats.messages_total} "
+          f"messages into {stats.chunks_created} chunks -> {args.output}")
+    return 0
+
+
+def main_simulate(argv: list[str] | None = None) -> int:
+    """``repro-simulate trace.dim [--gantt] [--prv out.prv]``"""
+    ap = argparse.ArgumentParser(
+        prog="repro-simulate",
+        description="Replay a trace on a configurable platform (the Dimemas stage).",
+    )
+    ap.add_argument("trace")
+    _machine_args(ap)
+    ap.add_argument("--gantt", action="store_true",
+                    help="print an ASCII Gantt of the reconstruction")
+    ap.add_argument("--profile", action="store_true",
+                    help="print the per-rank state profile")
+    ap.add_argument("--prv", help="export a Paraver .prv trace to this path")
+    ap.add_argument("--svg", help="export an SVG timeline to this path")
+    ap.add_argument("--json", help="export the reconstruction as JSON")
+    ap.add_argument("--width", type=int, default=100)
+    args = ap.parse_args(argv)
+
+    trace = dim.load(args.trace)
+    result = simulate(trace, _machine(args))
+    print(f"simulated {result.nranks} ranks: makespan {result.duration * 1e6:.1f} us, "
+          f"{len(result.messages)} messages, "
+          f"parallel efficiency {result.parallel_efficiency * 100:.1f}%")
+    print(f"comm: {comm_stats(result)}")
+    if args.gantt:
+        print(render_gantt(result, width=args.width))
+    if args.profile:
+        print(profile_table(result))
+    if args.prv:
+        prv.write_prv(result, args.prv)
+        prv.write_pcf(args.prv.rsplit(".", 1)[0] + ".pcf")
+        print(f"wrote {args.prv}")
+    if args.svg:
+        from .paraver.svg import write_svg
+        write_svg(result, args.svg)
+        print(f"wrote {args.svg}")
+    if args.json:
+        result.to_json(args.json)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def main_analyze(argv: list[str] | None = None) -> int:
+    """``repro-analyze trace.dim`` — patterns, stats, phase headroom.
+
+    The analysis half of the framework without replaying anything:
+    Table II rows, per-channel byte accounting, and the phase-level
+    overlap potential of a recorded trace.  Add a platform with
+    ``--simulate`` to append the replay profile and critical path.
+    """
+    ap = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="Analyze a recorded trace (patterns, stats, bottlenecks).",
+    )
+    ap.add_argument("trace")
+    ap.add_argument("--channel", type=int, default=None,
+                    help="restrict pattern tables to one channel "
+                         "(default: all channels)")
+    ap.add_argument("--simulate", action="store_true",
+                    help="also replay and print profile + critical path")
+    _machine_args(ap)
+    args = ap.parse_args(argv)
+
+    from .core.patterns import consumption_table, production_table
+    from .core.phases import phase_overlap_potential
+    from .trace.filters import trace_stats
+
+    trace = dim.load(args.trace)
+    st = trace_stats(trace)
+    print(f"trace: {st['nranks']} ranks, {st['records']} records, "
+          f"{st['messages']} messages, "
+          f"{st['virtual_compute_seconds'] * 1e3:.3f} ms compute")
+    for ch, nbytes in sorted(st["bytes_per_channel"].items()):
+        label = {0: "application", 1: "collective", 2: "chunk"}.get(ch, str(ch))
+        print(f"  channel {ch} ({label}): {nbytes} bytes")
+
+    p = production_table(trace, channel=args.channel)
+    c = consumption_table(trace, channel=args.channel)
+    print("\nproduction pattern  (fraction of phase): "
+          f"1st={p.first_element:.4f} 1/4={p.quarter:.4f} "
+          f"1/2={p.half:.4f} all={p.whole:.4f}")
+    print("consumption pattern (fraction of phase): "
+          f"none={c.nothing:.4f} 1/4={c.quarter:.4f} 1/2={c.half:.4f}")
+    print(phase_overlap_potential(trace, channel=args.channel))
+
+    if args.simulate:
+        from .paraver.critical import critical_path, render_path
+        result = simulate(trace, _machine(args))
+        print(f"\nreplay: makespan {result.duration * 1e6:.1f} us, "
+              f"efficiency {result.parallel_efficiency * 100:.1f}%")
+        print(profile_table(result))
+        print()
+        print(render_path(critical_path(result)))
+    return 0
+
+
+def main_report(argv: list[str] | None = None) -> int:
+    """``repro-report [--nranks N] [--no-bandwidth]``"""
+    ap = argparse.ArgumentParser(
+        prog="repro-report",
+        description="Regenerate the paper's tables and figures.",
+    )
+    ap.add_argument("--nranks", type=int, default=64)
+    ap.add_argument("--no-bandwidth", action="store_true")
+    args = ap.parse_args(argv)
+    from .experiments.report import full_report
+    print(full_report(nranks=args.nranks,
+                      include_bandwidth=not args.no_bandwidth))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main_trace())

@@ -1,0 +1,41 @@
+"""The paper's core contribution: automatic overlap at trace level.
+
+* :mod:`repro.core.transform` — chunking + advancing sends + double
+  buffering + post-postponed receptions over recorded traces;
+* :mod:`repro.core.ideal` — the ideal-pattern overlapped trace;
+* :mod:`repro.core.patterns` — production/consumption pattern analysis
+  (paper Table II and Figure 5);
+* :mod:`repro.core.chunking` / :mod:`repro.core.matching` — chunk
+  geometry and offline message matching;
+* :mod:`repro.core.metrics` — comparison metrics.
+"""
+
+from .chunking import DEFAULT_CHUNKS, ChunkPlan, chunk_needed_times, chunk_ready_times, plan_chunks
+from .ideal import ideal_transform
+from .matching import MessagePair, UnmatchedMessageError, match_messages
+from .metrics import Comparison, improvement_percent, speedup
+from .phases import PhasePotential, phase_overlap_potential
+from .patterns import (
+    IDEAL_CONSUMPTION,
+    IDEAL_PRODUCTION,
+    ConsumptionStats,
+    ProductionStats,
+    consumption_stats,
+    consumption_table,
+    production_stats,
+    production_table,
+    scatter_points,
+)
+from .transform import OverlapConfig, TransformStats, chunk_sub, overlap_transform
+
+__all__ = [
+    "ChunkPlan", "Comparison", "ConsumptionStats", "DEFAULT_CHUNKS",
+    "IDEAL_CONSUMPTION", "IDEAL_PRODUCTION", "MessagePair", "OverlapConfig",
+    "ProductionStats", "TransformStats", "UnmatchedMessageError",
+    "chunk_needed_times", "chunk_ready_times", "chunk_sub",
+    "consumption_stats", "consumption_table", "ideal_transform",
+    "improvement_percent", "match_messages", "overlap_transform",
+    "plan_chunks", "production_stats", "production_table",
+    "PhasePotential", "phase_overlap_potential",
+    "scatter_points", "speedup",
+]

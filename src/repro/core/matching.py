@@ -1,0 +1,93 @@
+"""Static send/receive matching over recorded traces.
+
+The overlap transformation rewrites *both* endpoints of every message
+(the sender's chunked transmissions must agree with the receiver's
+chunked receptions), so it first needs to know which receive record
+each send record pairs with.  Matching replays MPI's non-overtaking
+rule offline: records with the same key ``(src, dst, channel, tag,
+sub)`` match in record order — the same discipline the runtime matcher
+(:mod:`repro.smpi.matching`) and the replay simulator use, so all
+three stages agree on pairings.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass
+
+from ..trace.records import IRecv, ISend, Recv, Send, TraceSet
+
+__all__ = ["MessagePair", "match_messages", "UnmatchedMessageError"]
+
+
+class UnmatchedMessageError(ValueError):
+    """A send or receive record has no partner (malformed trace)."""
+
+
+@dataclass(frozen=True)
+class MessagePair:
+    """One matched point-to-point message.
+
+    Record indices refer to positions in the respective rank's record
+    list of the trace the matching ran on.
+    """
+
+    src: int
+    send_index: int
+    dst: int
+    recv_index: int
+    size: int
+    channel: int
+    tag: int
+    sub: int
+    context: int = 0
+
+    @property
+    def key(self) -> tuple:
+        return (self.src, self.dst, self.context, self.channel, self.tag,
+                self.sub)
+
+
+def match_messages(trace: TraceSet, strict: bool = True) -> list[MessagePair]:
+    """Pair every send record with its receive record.
+
+    Returns pairs ordered by (src, send_index).  With ``strict=True``
+    (default) raises :class:`UnmatchedMessageError` if any record is
+    left unpaired; otherwise unpaired records are silently dropped
+    (useful for partial traces).
+    """
+    sends: dict[tuple, deque] = defaultdict(deque)
+    recvs: dict[tuple, deque] = defaultdict(deque)
+
+    for proc in trace:
+        for i, rec in enumerate(proc.records):
+            if isinstance(rec, (Send, ISend)):
+                key = (proc.rank, rec.peer, rec.context, rec.channel,
+                       rec.tag, rec.sub)
+                sends[key].append((i, rec))
+            elif isinstance(rec, (Recv, IRecv)):
+                key = (rec.peer, proc.rank, rec.context, rec.channel,
+                       rec.tag, rec.sub)
+                recvs[key].append((i, rec))
+
+    pairs: list[MessagePair] = []
+    leftovers: list[str] = []
+    for key in sorted(set(sends) | set(recvs)):
+        s, r = sends.get(key, deque()), recvs.get(key, deque())
+        for (si, srec), (ri, _rrec) in zip(s, r):
+            pairs.append(
+                MessagePair(
+                    src=key[0], send_index=si, dst=key[1], recv_index=ri,
+                    size=srec.size, context=key[2], channel=key[3],
+                    tag=key[4], sub=key[5],
+                )
+            )
+        if len(s) != len(r):
+            leftovers.append(f"key {key}: {len(s)} sends vs {len(r)} recvs")
+
+    if leftovers and strict:
+        raise UnmatchedMessageError(
+            "unmatched point-to-point records:\n" + "\n".join(leftovers[:10])
+        )
+    pairs.sort(key=lambda p: (p.src, p.send_index))
+    return pairs

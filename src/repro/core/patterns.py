@@ -1,0 +1,239 @@
+"""Production/consumption pattern analysis (paper §V-A, Table II, Fig. 5).
+
+The tracer defines one *production interval* of a buffer as the time
+between two consecutive sends of that buffer and one *consumption
+interval* as the period between two consecutive receives of the same
+buffer.  Within those intervals it records the per-element last store
+and first load.  This module reduces those profiles to the two paper
+tables:
+
+* **Potential for advancing sends** (Table II(a)) — the percent of the
+  production phase at which the 1st element / first quarter / first
+  half / the whole message has reached its final version.  The "1st
+  element" column is the earliest final version of *any* element
+  (paper: "the first final version of any element is produced at
+  66.3 % of the production interval" for Sweep3D); the fractional
+  columns use the leading prefix of the buffer, matching the
+  contiguous-chunk transfer order.
+* **Potential for post-postponing receptions** (Table II(b)) — the
+  percent of the consumption phase that can be passed having received
+  nothing / the first quarter / the first half of the message: the
+  earliest first-load among the elements *not yet received*.
+
+An ideal pattern produces the prefix fraction ``f`` at exactly ``f`` of
+the interval and needs it at ``f`` — the "ideal" rows of the tables.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..trace.records import AccessProfile, IRecv, ISend, Recv, Send, TraceSet
+
+__all__ = [
+    "ConsumptionStats",
+    "IDEAL_CONSUMPTION",
+    "IDEAL_PRODUCTION",
+    "ProductionStats",
+    "consumption_stats",
+    "consumption_table",
+    "iter_profiles",
+    "production_stats",
+    "production_table",
+    "scatter_points",
+]
+
+
+@dataclass(frozen=True)
+class ProductionStats:
+    """Fractions of the production phase (0..1; NaN = no data)."""
+
+    first_element: float
+    quarter: float
+    half: float
+    whole: float
+
+    def as_percent(self) -> dict[str, float]:
+        """Row formatted as percentages (paper Table II units)."""
+        return {f.name: 100.0 * getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass(frozen=True)
+class ConsumptionStats:
+    """Fractions of the consumption phase passable per received part."""
+
+    nothing: float
+    quarter: float
+    half: float
+
+    def as_percent(self) -> dict[str, float]:
+        return {f.name: 100.0 * getattr(self, f.name) for f in fields(self)}
+
+
+#: Reference rows (paper Table II, "ideal").
+IDEAL_PRODUCTION = ProductionStats(0.0, 0.25, 0.50, 1.0)
+IDEAL_CONSUMPTION = ConsumptionStats(0.0, 0.25, 0.50)
+
+
+def production_stats(profile: AccessProfile) -> ProductionStats:
+    """Reduce one production profile to its Table II(a) row."""
+    if profile.kind != "production":
+        raise ValueError("expected a production profile")
+    t = profile.normalized()
+    n = t.shape[0]
+    if n == 0 or np.all(np.isnan(t)):
+        return ProductionStats(math.nan, math.nan, math.nan, math.nan)
+
+    def prefix_max(frac: float) -> float:
+        k = max(1, int(math.ceil(frac * n)))
+        seg = t[:k]
+        if np.all(np.isnan(seg)):
+            return math.nan
+        return float(np.nanmax(seg))
+
+    return ProductionStats(
+        first_element=float(np.nanmin(t)),
+        quarter=prefix_max(0.25),
+        half=prefix_max(0.50),
+        whole=prefix_max(1.0),
+    )
+
+
+def consumption_stats(profile: AccessProfile) -> ConsumptionStats:
+    """Reduce one consumption profile to its Table II(b) row."""
+    if profile.kind != "consumption":
+        raise ValueError("expected a consumption profile")
+    t = profile.normalized()
+    n = t.shape[0]
+    if n == 0:
+        return ConsumptionStats(math.nan, math.nan, math.nan)
+
+    def passable(frac: float) -> float:
+        """Earliest need among elements beyond the received prefix."""
+        k = int(math.ceil(frac * n))
+        seg = t[k:]
+        if seg.size == 0 or np.all(np.isnan(seg)):
+            return 1.0  # the remaining elements are never needed
+        return float(np.nanmin(seg))
+
+    return ConsumptionStats(
+        nothing=passable(0.0),
+        quarter=passable(0.25),
+        half=passable(0.50),
+    )
+
+
+def iter_profiles(
+    trace: TraceSet,
+    kind: str,
+    channel: int | None = None,
+    min_elements: int = 1,
+    rank: int | None = None,
+) -> Iterator[tuple[int, int, AccessProfile]]:
+    """Yield ``(rank, record_index, profile)`` for matching profiles."""
+    if kind not in ("production", "consumption"):
+        raise ValueError(f"invalid kind {kind!r}")
+    for proc in trace:
+        if rank is not None and proc.rank != rank:
+            continue
+        for i, rec in enumerate(proc.records):
+            if kind == "production" and isinstance(rec, (Send, ISend)):
+                p = rec.production
+            elif kind == "consumption" and isinstance(rec, (Recv, IRecv)):
+                p = rec.consumption
+            else:
+                continue
+            if p is None or p.elements < min_elements:
+                continue
+            if channel is not None and rec.channel != channel:
+                continue
+            yield proc.rank, i, p
+
+
+def _aggregate(rows: Iterable, cls, weights: Iterable[float] | None):
+    rows = list(rows)
+    names = [f.name for f in fields(cls)]
+    if not rows:
+        return cls(**{n: math.nan for n in names})
+    mat = np.array([[getattr(r, n) for n in names] for r in rows], dtype=float)
+    if weights is None:
+        w = np.ones(mat.shape[0])
+    else:
+        w = np.asarray(list(weights), dtype=float)
+    out = {}
+    for j, n in enumerate(names):
+        col = mat[:, j]
+        mask = ~np.isnan(col)
+        out[n] = float(np.average(col[mask], weights=w[mask])) if mask.any() else math.nan
+    return cls(**out)
+
+
+def production_table(
+    trace: TraceSet,
+    channel: int | None = None,
+    min_elements: int = 1,
+    weight_by_bytes: bool = False,
+) -> ProductionStats:
+    """Average Table II(a) row over all production profiles of a trace."""
+    entries = list(iter_profiles(trace, "production", channel, min_elements))
+    rows = [production_stats(p) for _, _, p in entries]
+    weights = None
+    if weight_by_bytes:
+        weights = [
+            p.elements for _, _, p in entries
+        ]
+    return _aggregate(rows, ProductionStats, weights)
+
+
+def consumption_table(
+    trace: TraceSet,
+    channel: int | None = None,
+    min_elements: int = 1,
+    weight_by_bytes: bool = False,
+) -> ConsumptionStats:
+    """Average Table II(b) row over all consumption profiles of a trace."""
+    entries = list(iter_profiles(trace, "consumption", channel, min_elements))
+    rows = [consumption_stats(p) for _, _, p in entries]
+    weights = None
+    if weight_by_bytes:
+        weights = [p.elements for _, _, p in entries]
+    return _aggregate(rows, ConsumptionStats, weights)
+
+
+def scatter_points(
+    trace: TraceSet,
+    kind: str,
+    channel: int | None = 0,
+    rank: int | None = None,
+    min_elements: int = 2,
+    max_points: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Figure 5 scatter data: ``(normalized_times, element_offsets)``.
+
+    Pools the raw access streams of every matching profile (the trace
+    must have been recorded with ``record_streams=True``).  The x axis
+    is the normalized time within the production/consumption interval;
+    the y axis the element offset within the transferred buffer —
+    exactly the axes of paper Figure 5.
+    """
+    xs: list[np.ndarray] = []
+    ys: list[np.ndarray] = []
+    for _, _, p in iter_profiles(trace, kind, channel, min_elements, rank):
+        stream = p.normalized_stream()
+        if stream is None:
+            continue
+        offsets, times = stream
+        xs.append(times)
+        ys.append(offsets)
+    if not xs:
+        return np.empty(0), np.empty(0, dtype=np.intp)
+    x = np.concatenate(xs)
+    y = np.concatenate(ys)
+    if max_points is not None and x.shape[0] > max_points:
+        idx = np.linspace(0, x.shape[0] - 1, max_points).astype(np.intp)
+        x, y = x[idx], y[idx]
+    return x, y

@@ -1,0 +1,13 @@
+"""Trace-driven replay simulator (the framework's Dimemas stage)."""
+
+from .engine import EventLoop, SimulationStalledError
+from .machine import MB, MachineConfig, PAPER_BANDWIDTH_MBPS, PAPER_BUSES
+from .network import Network, Transfer
+from .replay import ReplayError, simulate
+from .results import MessageFlight, STATE_NAMES, SimResult
+
+__all__ = [
+    "EventLoop", "MB", "MachineConfig", "MessageFlight", "Network",
+    "PAPER_BANDWIDTH_MBPS", "PAPER_BUSES", "ReplayError", "STATE_NAMES",
+    "SimResult", "SimulationStalledError", "Transfer", "simulate",
+]

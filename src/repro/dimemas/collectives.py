@@ -1,0 +1,52 @@
+"""Analytic collective cost model (GlobalOp replay).
+
+The paper's configuration decomposes collectives into point-to-point
+transfers (replayed by the normal network model), so this module is
+only exercised when traces are produced with
+``decompose_collectives=False`` — it implements Dimemas' closed-form
+collective model (Girona et al., EuroPVM/MPI 2000): a collective is a
+synchronization of all ranks followed by a cost of
+
+    ``model_factor * steps(op, P) * (latency + size / bandwidth)``
+
+where ``steps`` reflects the logical communication structure (binomial
+log2 phases for tree ops, linear fan for gathers, etc.).  The
+``collective-model`` ablation benchmark compares this against the
+decomposed replay.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..trace.records import CollOp, GlobalOp
+from .machine import MachineConfig
+
+__all__ = ["collective_cost", "collective_steps"]
+
+
+def collective_steps(op: CollOp, nranks: int) -> float:
+    """Number of (L + S/B) phases the collective's structure implies."""
+    if nranks <= 1:
+        return 0.0
+    lg = math.ceil(math.log2(nranks))
+    if op in (CollOp.BARRIER,):
+        return 2.0 * lg                      # fan-in + fan-out
+    if op in (CollOp.BCAST, CollOp.REDUCE):
+        return float(lg)                     # binomial tree
+    if op in (CollOp.ALLREDUCE,):
+        return 2.0 * lg                      # reduce + bcast
+    if op in (CollOp.GATHER, CollOp.SCATTER):
+        return float(nranks - 1)             # linear root fan
+    if op in (CollOp.ALLGATHER, CollOp.REDUCE_SCATTER):
+        return float(nranks - 1 + lg)        # linear fan + tree
+    if op in (CollOp.ALLTOALL,):
+        return float(nranks - 1)             # rotation schedule
+    raise ValueError(f"unknown collective op: {op}")
+
+
+def collective_cost(rec: GlobalOp, nranks: int, cfg: MachineConfig) -> float:
+    """Seconds the collective occupies after all ranks have entered."""
+    size = max(rec.send_size, rec.recv_size)
+    steps = collective_steps(rec.op, nranks)
+    return cfg.collective_model_factor * steps * cfg.linear_cost(size)

@@ -1,0 +1,63 @@
+"""Discrete-event core of the replay simulator.
+
+A minimal, deterministic event loop: events are ``(time, seq,
+callback)`` triples on a binary heap; ties in time break by insertion
+order, so replays are bit-reproducible.  The loop is deliberately
+dumb — all simulation semantics live in :mod:`repro.dimemas.replay`
+and :mod:`repro.dimemas.network`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable
+
+__all__ = ["EventLoop", "SimulationStalledError"]
+
+
+class SimulationStalledError(RuntimeError):
+    """The event queue drained while simulated processes were still blocked."""
+
+
+class EventLoop:
+    """Deterministic discrete-event loop."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        #: Current simulation time (seconds).
+        self.now = 0.0
+        #: Number of events executed so far.
+        self.executed = 0
+
+    def at(self, time: float, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` at absolute ``time`` (>= now)."""
+        if math.isnan(time):
+            raise ValueError("cannot schedule an event at NaN time")
+        if time < self.now - 1e-12:
+            raise ValueError(
+                f"cannot schedule into the past: t={time} < now={self.now}"
+            )
+        heapq.heappush(self._heap, (max(time, self.now), self._seq, fn))
+        self._seq += 1
+
+    def after(self, delay: float, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        self.at(self.now + delay, fn)
+
+    def run(self) -> float:
+        """Execute events until the queue drains; returns the final time."""
+        while self._heap:
+            time, _, fn = heapq.heappop(self._heap)
+            self.now = time
+            self.executed += 1
+            fn()
+        return self.now
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled, not-yet-executed events."""
+        return len(self._heap)

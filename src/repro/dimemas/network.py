@@ -1,0 +1,184 @@
+"""Network resource model: buses, ports, and transfer scheduling.
+
+Implements Dimemas' congestion semantics on top of the linear model:
+a message's wire occupancy (``size/bandwidth``) simultaneously holds
+
+* one **global bus** (bounding how many messages travel concurrently
+  through the whole interconnect — paper Table I calibrates this),
+* one **output port** of the source processor, and
+* one **input port** of the destination processor,
+
+while the constant ``latency`` term is pipeline depth, not a resource.
+A transfer starts only when all three resources are free; queued
+transfers are served FIFO by request time (a later transfer may start
+earlier only if it uses entirely different ports while the earlier one
+is port-blocked — matching Dimemas' per-resource queues).
+
+Zero-byte messages (pure synchronization) bypass the network and cost
+only latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .engine import EventLoop
+from .machine import MachineConfig
+
+__all__ = ["Network", "Transfer"]
+
+
+@dataclass
+class Transfer:
+    """One point-to-point message moving through the platform.
+
+    Filled in progressively by the replay driver (protocol handshake)
+    and the network (timing).  All times are absolute seconds; ``None``
+    = not yet known.
+    """
+
+    src: int
+    dst: int
+    size: int
+    tag: int = 0
+    rendezvous: bool = False
+
+    #: When the sender executed its send record.
+    send_time: float | None = None
+    #: When the receiver posted the matching receive.
+    recv_post_time: float | None = None
+    #: When the transfer was handed to the network.
+    ready_time: float | None = None
+    #: When it acquired bus+ports and started occupying the wire.
+    start_time: float | None = None
+    #: When injection finished (resources released; sender-side done).
+    inject_time: float | None = None
+    #: When the payload arrived at the destination (receiver-side done).
+    arrival_time: float | None = None
+
+    injected: bool = False
+    arrived: bool = False
+    _inject_waiters: list[Callable[[float], None]] = field(default_factory=list)
+    _arrival_waiters: list[Callable[[float], None]] = field(default_factory=list)
+
+    # -- completion subscription ------------------------------------------------
+    def on_injected(self, fn: Callable[[float], None]) -> None:
+        """Call ``fn(inject_time)`` once injection completes."""
+        if self.injected:
+            fn(self.inject_time)  # type: ignore[arg-type]
+        else:
+            self._inject_waiters.append(fn)
+
+    def on_arrived(self, fn: Callable[[float], None]) -> None:
+        """Call ``fn(arrival_time)`` once the payload is delivered."""
+        if self.arrived:
+            fn(self.arrival_time)  # type: ignore[arg-type]
+        else:
+            self._arrival_waiters.append(fn)
+
+    def _fire_injected(self, t: float) -> None:
+        self.injected = True
+        self.inject_time = t
+        waiters, self._inject_waiters = self._inject_waiters, []
+        for fn in waiters:
+            fn(t)
+
+    def _fire_arrived(self, t: float) -> None:
+        self.arrived = True
+        self.arrival_time = t
+        waiters, self._arrival_waiters = self._arrival_waiters, []
+        for fn in waiters:
+            fn(t)
+
+
+class Network:
+    """Resource arbiter for transfers on one :class:`MachineConfig`."""
+
+    def __init__(self, loop: EventLoop, nranks: int, cfg: MachineConfig):
+        self.loop = loop
+        self.cfg = cfg
+        self.nranks = nranks
+        self._free_buses = cfg.buses if cfg.buses is not None else float("inf")
+        self._free_out = [cfg.output_ports] * nranks
+        self._free_in = [cfg.input_ports] * nranks
+        self._queue: list[Transfer] = []
+        #: Peak number of simultaneously active transfers (diagnostics).
+        self.peak_active = 0
+        self._active = 0
+        #: Total wire-occupancy seconds consumed (diagnostics).
+        self.busy_seconds = 0.0
+
+    # ------------------------------------------------------------------ #
+    def submit(self, transfer: Transfer) -> None:
+        """Hand a transfer to the network at the current loop time.
+
+        Must be called at ``loop.now == transfer.ready_time`` (the
+        replay driver schedules the call accordingly).
+        """
+        transfer.ready_time = self.loop.now
+        if transfer.size == 0 or transfer.src == transfer.dst:
+            # Pure sync or self-message: latency only, no resources.
+            transfer.start_time = self.loop.now
+            self.loop.after(0.0, lambda: transfer._fire_injected(self.loop.now))
+            lat = 0.0 if transfer.src == transfer.dst else self.cfg.latency
+            self.loop.after(lat, lambda: transfer._fire_arrived(self.loop.now))
+            return
+        if self.cfg.same_node(transfer.src, transfer.dst):
+            # Shared-memory path: no buses, no ports (Dimemas' SMP node
+            # model) — a plain copy at intra-node latency/bandwidth.
+            transfer.start_time = self.loop.now
+            copy = self.cfg.intra_transfer_seconds(transfer.size)
+            self.loop.after(copy, lambda: transfer._fire_injected(self.loop.now))
+            self.loop.after(
+                copy + self.cfg.intra_latency,
+                lambda: transfer._fire_arrived(self.loop.now),
+            )
+            return
+        self._queue.append(transfer)
+        self._try_start()
+
+    # ------------------------------------------------------------------ #
+    def _resources_free(self, t: Transfer) -> bool:
+        return (
+            self._free_buses >= 1
+            and self._free_out[t.src] >= 1
+            and self._free_in[t.dst] >= 1
+        )
+
+    def _try_start(self) -> None:
+        """Start every queued transfer whose resources are all free.
+
+        FIFO scan: earlier-queued transfers get first pick; a later
+        transfer only jumps ahead when it needs *different* ports (the
+        bus pool being shared, bus exhaustion blocks everyone).
+        """
+        started_any = True
+        while started_any:
+            started_any = False
+            for i, t in enumerate(self._queue):
+                if self._resources_free(t):
+                    del self._queue[i]
+                    self._start(t)
+                    started_any = True
+                    break
+
+    def _start(self, t: Transfer) -> None:
+        self._free_buses -= 1
+        self._free_out[t.src] -= 1
+        self._free_in[t.dst] -= 1
+        self._active += 1
+        self.peak_active = max(self.peak_active, self._active)
+        t.start_time = self.loop.now
+        occupancy = self.cfg.transfer_seconds(t.size)
+        self.busy_seconds += occupancy
+        self.loop.after(occupancy, lambda: self._finish_injection(t))
+
+    def _finish_injection(self, t: Transfer) -> None:
+        self._free_buses += 1
+        self._free_out[t.src] += 1
+        self._free_in[t.dst] += 1
+        self._active -= 1
+        t._fire_injected(self.loop.now)
+        self.loop.after(self.cfg.latency, lambda: t._fire_arrived(self.loop.now))
+        self._try_start()

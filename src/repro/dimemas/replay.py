@@ -1,0 +1,335 @@
+"""Trace-driven replay: reconstructing time-behaviour on a platform.
+
+This is the Dimemas stage of the pipeline (paper Figure 3): it takes
+the per-process traces (original or overlapped) and *"off-line
+reconstructs the application's time-behavior on a configurable
+parallel platform"*.
+
+Execution model
+---------------
+
+Each rank replays its record stream sequentially on a private clock:
+
+* ``CpuBurst`` — advances the clock by ``duration * cpu_ratio``
+  (state: Running);
+* ``Send`` — eager protocol (size ≤ eager threshold, or forced by the
+  record): zero sender cost — the paper assumes OS-bypass NICs that
+  *"perform communication operations without interrupting the main
+  processor"* (§I), so an eager send only enqueues the transfer, which
+  then competes for buses/ports on its own; rendezvous: the sender
+  blocks until delivery, and the transfer cannot start before the
+  receiver has posted;
+* ``ISend`` / ``IRecv`` — zero-cost posting;
+* ``Recv`` — blocks until the matching message is delivered;
+* ``Wait`` — blocks until all referenced requests complete (eager send
+  requests are buffered and complete immediately, everything else at
+  delivery);
+* ``GlobalOp`` — synchronizes all ranks, then applies the analytic
+  collective cost model (only present in non-decomposed traces);
+* ``Event`` — timestamps a user event.
+
+Matching is resolved *statically* with
+:func:`repro.core.matching.match_messages` (MPI posting-order
+semantics), so replay, runtime, and transformation always agree on
+message pairings.  The network applies the linear cost model with
+finite buses and ports (:mod:`repro.dimemas.network`).
+
+Causality: a rank executes communication records only when the global
+event clock has caught up with its private clock, so all resource
+contention resolves in global time order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.matching import match_messages
+from ..trace.records import (
+    CpuBurst,
+    Event,
+    GlobalOp,
+    IRecv,
+    ISend,
+    Recv,
+    Send,
+    TraceSet,
+    Wait,
+)
+from .collectives import collective_cost
+from .engine import EventLoop
+from .machine import MachineConfig
+from .network import Network, Transfer
+from .results import MessageFlight, SimResult
+
+__all__ = ["ReplayError", "simulate"]
+
+_EPS = 1e-15
+
+
+class ReplayError(RuntimeError):
+    """Replay could not complete (stalled ranks, malformed trace)."""
+
+
+class _CollectiveSync:
+    """Barrier-style coordination of analytic GlobalOp records."""
+
+    def __init__(self, nranks: int, cfg: MachineConfig, loop: EventLoop):
+        self.nranks = nranks
+        self.cfg = cfg
+        self.loop = loop
+        self._groups: dict[int, list] = {}
+
+    def enter(self, runner: "_RankRunner", rec: GlobalOp) -> None:
+        group = self._groups.setdefault((rec.context, rec.seq), [])
+        group.append((runner, runner.now, rec))
+        expected = rec.members if rec.members > 0 else self.nranks
+        if len(group) == expected:
+            t_enter = max(t for _, t, _ in group)
+            cost = collective_cost(rec, expected, self.cfg)
+            t_done = t_enter + cost
+            del self._groups[(rec.context, rec.seq)]
+            for r, _, _ in group:
+                self.loop.at(t_done, _make_resume(r, t_done))
+
+    def stuck(self) -> list[str]:
+        return [
+            f"collective context={key[0]} seq={key[1]}: "
+            f"only {len(g)} rank(s) entered"
+            for key, g in self._groups.items()
+        ]
+
+
+def _make_resume(runner: "_RankRunner", t: float) -> Callable[[], None]:
+    return lambda: runner._resume(t)
+
+
+class _RankRunner:
+    """Sequential replay cursor of one rank."""
+
+    def __init__(self, sim: "_Simulation", rank: int):
+        self.sim = sim
+        self.rank = rank
+        self.records = sim.trace[rank].records
+        self.idx = 0
+        self.now = 0.0
+        self.finished = False
+        self.states: list[tuple[str, float, float]] = []
+        self.events: list[tuple[float, str, int]] = []
+        self._block_label: str | None = None
+        self._block_start = 0.0
+
+    # -- state bookkeeping ---------------------------------------------------
+    def _push_state(self, label: str, t0: float, t1: float) -> None:
+        if t1 <= t0 + _EPS:
+            return
+        if self.states and self.states[-1][0] == label and abs(self.states[-1][2] - t0) < _EPS:
+            prev = self.states[-1]
+            self.states[-1] = (label, prev[1], t1)
+        else:
+            self.states.append((label, t0, t1))
+
+    def _block(self, label: str) -> None:
+        self._block_label = label
+        self._block_start = self.now
+
+    def _resume(self, t: float) -> None:
+        """Completion callback: close the blocked state and continue."""
+        t = max(t, self.now)
+        if self._block_label is not None:
+            self._push_state(self._block_label, self._block_start, t)
+            self._block_label = None
+        self.now = t
+        self.idx += 1
+        self.advance()
+
+    def blocked_description(self) -> str:
+        rec = self.records[self.idx] if self.idx < len(self.records) else None
+        return (
+            f"rank {self.rank} at record {self.idx} "
+            f"({type(rec).__name__ if rec else 'end'}), state={self._block_label}"
+        )
+
+    # -- the replay loop ------------------------------------------------------
+    def advance(self) -> None:
+        loop = self.sim.loop
+        cfg = self.sim.cfg
+        while self.idx < len(self.records):
+            rec = self.records[self.idx]
+            if isinstance(rec, CpuBurst):
+                dur = rec.duration * cfg.cpu_ratio
+                self._push_state("Running", self.now, self.now + dur)
+                self.now += dur
+                self.idx += 1
+                continue
+            if isinstance(rec, Event):
+                self.events.append((self.now, rec.name, rec.value))
+                self.idx += 1
+                continue
+            # Side-effecting record: only execute once the global clock
+            # has caught up (causal resource arbitration).
+            if self.now > loop.now + 1e-12:
+                loop.at(self.now, self.advance)
+                return
+
+            if isinstance(rec, (Send, ISend)):
+                tr = self.sim.send_at[(self.rank, self.idx)]
+                tr.send_time = self.now
+                if not tr.rendezvous:
+                    self.sim.network.submit(tr)
+                elif tr.recv_post_time is not None:
+                    self.sim.network.submit(tr)
+                if isinstance(rec, ISend) or not tr.rendezvous:
+                    self.idx += 1
+                    continue
+                self._block("Send")
+                tr.on_arrived(self._resume)
+                return
+
+            if isinstance(rec, (Recv, IRecv)):
+                tr = self.sim.recv_at[(self.rank, self.idx)]
+                tr.recv_post_time = self.now
+                if tr.rendezvous and tr.send_time is not None and tr.ready_time is None:
+                    self.sim.network.submit(tr)
+                if isinstance(rec, IRecv):
+                    self.idx += 1
+                    continue
+                if tr.arrived:
+                    self.now = max(self.now, tr.arrival_time)
+                    self.idx += 1
+                    continue
+                self._block("Waiting a message")
+                tr.on_arrived(self._resume)
+                return
+
+            if isinstance(rec, Wait):
+                pend: list[tuple[Transfer, str]] = []
+                latest = self.now
+                for req in rec.requests:
+                    kind, tr = self.sim.req_map[(self.rank, req)]
+                    if kind == "send":
+                        if not tr.rendezvous:
+                            continue  # buffered: complete at the send call
+                        if tr.arrived:
+                            latest = max(latest, tr.arrival_time)
+                        else:
+                            pend.append((tr, "arrival"))
+                    else:
+                        if tr.arrived:
+                            latest = max(latest, tr.arrival_time)
+                        else:
+                            pend.append((tr, "arrival"))
+                if not pend:
+                    self.now = latest
+                    self.idx += 1
+                    continue
+                self._block("Wait/WaitAll")
+                remaining = len(pend)
+                acc = [max(latest, self.now)]
+
+                def _done(t: float) -> None:
+                    nonlocal remaining
+                    acc[0] = max(acc[0], t)
+                    remaining -= 1
+                    if remaining == 0:
+                        self._resume(acc[0])
+
+                for tr, what in pend:
+                    if what == "inject":
+                        tr.on_injected(_done)
+                    else:
+                        tr.on_arrived(_done)
+                return
+
+            if isinstance(rec, GlobalOp):
+                self._block("Group communication")
+                self.sim.coll.enter(self, rec)
+                return
+
+            raise ReplayError(
+                f"rank {self.rank}: cannot replay record type "
+                f"{type(rec).__name__} at index {self.idx}"
+            )
+        if not self.finished:
+            self.finished = True
+
+
+class _Simulation:
+    """Shared replay state: loop, network, transfers, runners."""
+
+    def __init__(self, trace: TraceSet, cfg: MachineConfig):
+        self.trace = trace
+        self.cfg = cfg
+        self.loop = EventLoop()
+        self.network = Network(self.loop, trace.nranks, cfg)
+        self.coll = _CollectiveSync(trace.nranks, cfg, self.loop)
+
+        self.send_at: dict[tuple[int, int], Transfer] = {}
+        self.recv_at: dict[tuple[int, int], Transfer] = {}
+        self.req_map: dict[tuple[int, int], tuple[str, Transfer]] = {}
+        self.transfers: list[Transfer] = []
+
+        for pair in match_messages(trace):
+            srec = trace[pair.src].records[pair.send_index]
+            rrec = trace[pair.dst].records[pair.recv_index]
+            rendezvous = (
+                srec.rendezvous
+                if srec.rendezvous is not None
+                else srec.size > cfg.eager_threshold
+            )
+            tr = Transfer(
+                src=pair.src, dst=pair.dst, size=pair.size,
+                tag=pair.tag, rendezvous=rendezvous,
+            )
+            self.transfers.append(tr)
+            self.send_at[(pair.src, pair.send_index)] = tr
+            self.recv_at[(pair.dst, pair.recv_index)] = tr
+            if isinstance(srec, ISend):
+                self.req_map[(pair.src, srec.request)] = ("send", tr)
+            if isinstance(rrec, IRecv):
+                self.req_map[(pair.dst, rrec.request)] = ("recv", tr)
+
+        self.runners = [_RankRunner(self, r) for r in range(trace.nranks)]
+
+
+def simulate(trace: TraceSet, machine: MachineConfig | None = None) -> SimResult:
+    """Replay ``trace`` on ``machine`` and reconstruct its timeline.
+
+    Raises :class:`ReplayError` when the replay stalls (e.g. a
+    rendezvous cycle or an inconsistent trace).
+    """
+    cfg = machine or MachineConfig()
+    sim = _Simulation(trace, cfg)
+    for runner in sim.runners:
+        sim.loop.at(0.0, runner.advance)
+    sim.loop.run()
+
+    stuck = [r.blocked_description() for r in sim.runners if not r.finished]
+    stuck += sim.coll.stuck()
+    if stuck:
+        raise ReplayError("replay stalled:\n" + "\n".join(stuck[:16]))
+
+    messages = sorted(
+        (
+            MessageFlight(
+                src=t.src, dst=t.dst,
+                t_send=t.send_time, t_start=t.start_time,
+                t_recv=t.arrival_time, size=t.size, tag=t.tag,
+            )
+            for t in sim.transfers
+            if t.arrival_time is not None and t.send_time is not None
+        ),
+        key=lambda m: (m.t_send, m.src, m.dst),
+    )
+    return SimResult(
+        nranks=trace.nranks,
+        duration=max((r.now for r in sim.runners), default=0.0),
+        rank_end=[r.now for r in sim.runners],
+        states=[r.states for r in sim.runners],
+        messages=messages,
+        events=[r.events for r in sim.runners],
+        network_stats={
+            "peak_active_transfers": sim.network.peak_active,
+            "wire_busy_seconds": sim.network.busy_seconds,
+            "events_executed": sim.loop.executed,
+        },
+    )

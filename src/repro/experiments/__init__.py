@@ -1,0 +1,32 @@
+"""Experiment harness: the paper's evaluation, end to end.
+
+* :mod:`repro.experiments.pipeline` — trace/transform/replay bundles;
+* :mod:`repro.experiments.bandwidth` — Figure 6(b)/(c) searches;
+* :mod:`repro.experiments.calibration` — Table I bus calibration;
+* :mod:`repro.experiments.tables` — Table II / Figure 5 data;
+* :mod:`repro.experiments.report` — the full paper-vs-measured report.
+"""
+
+from .bandwidth import bisect_bandwidth, equivalent_bandwidth, relaxation_bandwidth
+from .cache import TraceCache
+from .calibration import bus_sensitivity, calibrate_buses, saturation_knee
+from .pipeline import AppExperiment, VARIANTS
+from .tables import (
+    PAPER_CONSUMPTION,
+    PAPER_PRODUCTION,
+    PatternRow,
+    figure5_series,
+    pattern_row,
+)
+from .report import full_report
+from .scaling import ScalePoint, ScalingStudy, scaling_study
+from .sweeps import SweepResult, ascii_series, bandwidth_sweep, latency_sweep
+
+__all__ = [
+    "AppExperiment", "PAPER_CONSUMPTION", "PAPER_PRODUCTION", "PatternRow",
+    "VARIANTS", "bisect_bandwidth", "bus_sensitivity", "calibrate_buses",
+    "equivalent_bandwidth", "figure5_series", "full_report", "pattern_row",
+    "relaxation_bandwidth", "saturation_knee",
+    "ScalePoint", "ScalingStudy", "TraceCache", "scaling_study",
+    "SweepResult", "ascii_series", "bandwidth_sweep", "latency_sweep",
+]

@@ -1,0 +1,100 @@
+"""Bandwidth searches of paper Figure 6(b) and 6(c).
+
+* **Bandwidth relaxation** (Fig. 6(b)): the minimum bandwidth at which
+  the *overlapped* execution still matches the performance of the
+  non-overlapped execution on the 250 MB/s baseline — *"in order to
+  achieve the performance of the non-overlapped execution on
+  250MB/s, the overlapped execution needs much less bandwidth"*
+  (Sweep3D: down to 11.75 MB/s).
+* **Equivalent bandwidth** (Fig. 6(c)): the bandwidth the
+  *non-overlapped* execution would need to match the overlapped
+  execution at 250 MB/s — *"what is the overlap's equivalent in
+  increased network bandwidth"*.  For Sweep3D this "tends to
+  infinity": no bandwidth recovers the benefit, because the remaining
+  cost is latency and pipeline serialization, not bytes.
+
+Both are monotone in bandwidth, so bisection on a log scale converges
+quickly; replays are memoized by the experiment object.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .pipeline import AppExperiment
+
+__all__ = [
+    "bisect_bandwidth",
+    "equivalent_bandwidth",
+    "relaxation_bandwidth",
+]
+
+#: Search bracket (MB/s): from slower-than-ethernet to far beyond any
+#: bandwidth that can still matter; above the cap we report infinity.
+BW_MIN = 0.25
+BW_MAX = 128_000.0
+
+
+def bisect_bandwidth(
+    predicate,
+    lo: float = BW_MIN,
+    hi: float = BW_MAX,
+    rel_tol: float = 0.01,
+    max_iter: int = 60,
+) -> float:
+    """Smallest bandwidth in ``[lo, hi]`` satisfying a monotone predicate.
+
+    ``predicate(bw)`` must be False below the threshold and True above
+    it.  Returns ``inf`` when even ``hi`` fails and ``lo`` when the
+    predicate already holds there.  Log-scale bisection to ``rel_tol``.
+    """
+    if predicate(lo):
+        return lo
+    if not predicate(hi):
+        return math.inf
+    llo, lhi = math.log(lo), math.log(hi)
+    for _ in range(max_iter):
+        if (lhi - llo) <= math.log1p(rel_tol):
+            break
+        mid = 0.5 * (llo + lhi)
+        if predicate(math.exp(mid)):
+            lhi = mid
+        else:
+            llo = mid
+    return math.exp(lhi)
+
+
+def relaxation_bandwidth(
+    exp: AppExperiment,
+    variant: str = "real",
+    baseline_bw: float | None = None,
+    slack: float = 1e-9,
+    rel_tol: float = 0.01,
+) -> float:
+    """Fig. 6(b): min bandwidth where ``variant`` matches the original
+    execution at the baseline bandwidth."""
+    base_bw = baseline_bw if baseline_bw is not None else exp.machine.bandwidth_mbps
+    target = exp.duration("original", bandwidth_mbps=base_bw)
+
+    def fast_enough(bw: float) -> bool:
+        return exp.duration(variant, bandwidth_mbps=bw) <= target * (1 + slack)
+
+    return bisect_bandwidth(fast_enough, hi=base_bw, rel_tol=rel_tol)
+
+
+def equivalent_bandwidth(
+    exp: AppExperiment,
+    variant: str = "real",
+    baseline_bw: float | None = None,
+    slack: float = 1e-9,
+    rel_tol: float = 0.01,
+) -> float:
+    """Fig. 6(c): bandwidth the original execution needs to match
+    ``variant`` at the baseline bandwidth (``inf`` when unreachable)."""
+    base_bw = baseline_bw if baseline_bw is not None else exp.machine.bandwidth_mbps
+    target = exp.duration(variant, bandwidth_mbps=base_bw)
+
+    def fast_enough(bw: float) -> bool:
+        return exp.duration("original", bandwidth_mbps=bw) <= target * (1 + slack)
+
+    return bisect_bandwidth(fast_enough, lo=base_bw * 0.999, rel_tol=rel_tol)

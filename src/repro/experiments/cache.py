@@ -1,0 +1,73 @@
+"""On-disk trace cache.
+
+Tracing a 64-rank application takes seconds; the evaluation replays the
+same three traces dozens of times (every bandwidth-bisection step, every
+bus count).  The in-memory memoization of
+:class:`~repro.experiments.pipeline.AppExperiment` covers one process;
+this cache persists traces across processes and sessions as ``.dim``
+files keyed by a content hash of (application, parameters, scale,
+tracer settings, package version).
+
+Traces recorded with ``record_streams=True`` are *not* cacheable (raw
+access streams are not serialized) and bypass the cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Callable
+
+from .. import __version__
+from ..trace import dim
+from ..trace.records import TraceSet
+
+__all__ = ["TraceCache"]
+
+
+class TraceCache:
+    """A directory of content-addressed ``.dim`` trace files."""
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        #: Diagnostics: how often the cache answered / had to build.
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(**fields) -> str:
+        """Stable hash of the describing fields (JSON-canonicalized)."""
+        blob = json.dumps(
+            {"_version": __version__, **fields},
+            sort_keys=True, default=repr,
+        ).encode()
+        return hashlib.sha256(blob).hexdigest()[:24]
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / f"{key}.dim"
+
+    def load_or_build(self, key: str, builder: Callable[[], TraceSet]) -> TraceSet:
+        """Return the cached trace for ``key`` or build and store it."""
+        path = self.path_for(key)
+        if path.exists():
+            self.hits += 1
+            return dim.load(path)
+        self.misses += 1
+        trace = builder()
+        tmp = path.with_suffix(".tmp")
+        dim.dump(trace, tmp)
+        tmp.replace(path)  # atomic publish
+        return trace
+
+    def clear(self) -> int:
+        """Delete all cached traces; returns how many were removed."""
+        n = 0
+        for p in self.directory.glob("*.dim"):
+            p.unlink()
+            n += 1
+        return n
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.dim"))

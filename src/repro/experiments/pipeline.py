@@ -1,0 +1,140 @@
+"""End-to-end experiment pipeline: app -> traces -> replays.
+
+One :class:`AppExperiment` owns the three traces of one application
+run (original, real-pattern overlapped, ideal-pattern overlapped —
+exactly the three traces the paper's tracer emits per run) and replays
+them on any platform variation.  Traces are built lazily and cached;
+replays are memoized per (variant, bandwidth, buses) so bandwidth
+searches stay cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..apps import get_app
+from ..core.ideal import ideal_transform
+from ..core.transform import OverlapConfig, overlap_transform
+from ..dimemas.machine import MachineConfig
+from ..dimemas.replay import simulate
+from ..dimemas.results import SimResult
+from ..trace.records import TraceSet
+
+__all__ = ["AppExperiment", "VARIANTS"]
+
+#: The three executions the paper compares.
+VARIANTS = ("original", "real", "ideal")
+
+
+class AppExperiment:
+    """Cached trace/transform/replay bundle of one application run.
+
+    Parameters
+    ----------
+    app:
+        Table I application name (``sweep3d``, ``pop``, ``alya``,
+        ``specfem3d``, ``bt``, ``cg``).
+    nranks:
+        Simulated processes (paper test bed: 64).
+    chunks:
+        Chunk count of the overlap transformation (paper: 4).
+    app_params:
+        Overrides forwarded to the application constructor.
+    machine:
+        Baseline platform; defaults to the paper test bed with the
+        application's Table I bus count.
+    """
+
+    def __init__(
+        self,
+        app: str,
+        nranks: int = 64,
+        chunks: int = 4,
+        app_params: Mapping | None = None,
+        machine: MachineConfig | None = None,
+        record_streams: bool = False,
+        cache=None,
+    ):
+        self.app_name = app
+        self.nranks = nranks
+        self.chunks = chunks
+        self.app_params = dict(app_params or {})
+        self.machine = machine or MachineConfig.paper_testbed(app)
+        self.record_streams = record_streams
+        #: Optional :class:`~repro.experiments.cache.TraceCache` for
+        #: persisting original traces across sessions (unused when
+        #: ``record_streams`` is on — streams are not serialized).
+        self.cache = cache
+        self._traces: dict[str, TraceSet] = {}
+        self._sims: dict[tuple, SimResult] = {}
+
+    # ------------------------------------------------------------------ #
+    def trace(self, variant: str = "original") -> TraceSet:
+        """The trace of one execution variant (built and cached lazily)."""
+        if variant not in VARIANTS:
+            raise ValueError(f"unknown variant {variant!r}; pick from {VARIANTS}")
+        if variant not in self._traces:
+            if variant == "original":
+                def build() -> TraceSet:
+                    app = get_app(self.app_name, **self.app_params)
+                    return app.trace(
+                        nranks=self.nranks,
+                        record_streams=self.record_streams,
+                    ).trace
+
+                if self.cache is not None and not self.record_streams:
+                    key = self.cache.key(
+                        app=self.app_name, nranks=self.nranks,
+                        params=self.app_params,
+                    )
+                    self._traces["original"] = self.cache.load_or_build(key, build)
+                else:
+                    self._traces["original"] = build()
+            elif variant == "real":
+                cfg = OverlapConfig(chunks=self.chunks, schedule="real")
+                self._traces["real"], _ = overlap_transform(self.trace("original"), cfg)
+            else:
+                self._traces["ideal"], _ = ideal_transform(
+                    self.trace("original"), chunks=self.chunks,
+                )
+        return self._traces[variant]
+
+    def simulate(
+        self,
+        variant: str = "original",
+        bandwidth_mbps: float | None = None,
+        buses: int | None | str = "default",
+        latency: float | None = None,
+    ) -> SimResult:
+        """Replay a variant on a (possibly modified) platform."""
+        cfg = self.machine
+        if bandwidth_mbps is not None:
+            cfg = cfg.with_bandwidth(bandwidth_mbps)
+        if buses != "default":
+            from dataclasses import replace
+            cfg = replace(cfg, buses=buses)
+        if latency is not None:
+            from dataclasses import replace
+            cfg = replace(cfg, latency=latency)
+        key = (variant, cfg.bandwidth_mbps, cfg.buses, cfg.latency)
+        if key not in self._sims:
+            self._sims[key] = simulate(self.trace(variant), cfg)
+        return self._sims[key]
+
+    def duration(self, variant: str = "original", **platform) -> float:
+        """Simulated makespan of a variant (seconds)."""
+        return self.simulate(variant, **platform).duration
+
+    def speedups(self, **platform) -> dict[str, float]:
+        """Overlap speedups vs the original execution (paper Fig. 6(a))."""
+        base = self.duration("original", **platform)
+        return {
+            "real": base / self.duration("real", **platform),
+            "ideal": base / self.duration("ideal", **platform),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"AppExperiment({self.app_name!r}, nranks={self.nranks}, "
+            f"chunks={self.chunks})"
+        )

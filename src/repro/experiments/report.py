@@ -1,0 +1,138 @@
+"""Full reproduction report: every table and figure, paper vs measured.
+
+``python -m repro.experiments.report`` regenerates the quantitative
+content of EXPERIMENTS.md: Table I (calibration), Table II (patterns),
+Figure 4 (CG timelines), Figure 5 (pattern series summaries), and
+Figure 6 (speedup / bandwidth relaxation / equivalent bandwidth).
+"""
+
+from __future__ import annotations
+
+import io
+import math
+
+from ..dimemas.machine import PAPER_BUSES
+from ..paraver.compare import compare
+from ..paraver.timeline import iteration_bounds
+from .bandwidth import equivalent_bandwidth, relaxation_bandwidth
+from .calibration import saturation_knee
+from .pipeline import AppExperiment
+from .tables import PAPER_CONSUMPTION, PAPER_PRODUCTION, figure5_series, pattern_row
+
+__all__ = ["full_report", "main"]
+
+#: Scale used for the headline experiments (paper test bed: 64).
+DEFAULT_NRANKS = 64
+
+
+def _fmt_bw(x: float) -> str:
+    return "inf" if math.isinf(x) else f"{x:.1f}"
+
+
+def _fmt_pct(x: float) -> str:
+    return "  n/a " if (x != x) else f"{100 * x:6.2f}"
+
+
+def full_report(
+    nranks: int = DEFAULT_NRANKS,
+    apps: tuple[str, ...] = ("sweep3d", "pop", "alya", "specfem3d", "bt", "cg"),
+    include_bandwidth: bool = True,
+) -> str:
+    """Build the complete text report (can take a few minutes)."""
+    out = io.StringIO()
+    exps = {a: AppExperiment(a, nranks=nranks) for a in apps}
+
+    # ---- Table I ---------------------------------------------------------- #
+    print("== Table I: Dimemas bus counts ==", file=out)
+    print(f"{'app':>10} {'paper':>6} {'saturation knee (ours)':>24}", file=out)
+    for a in apps:
+        knee = saturation_knee(exps[a], tolerance=0.02)
+        print(f"{a:>10} {PAPER_BUSES[a]:>6} {knee:>24}", file=out)
+    print(file=out)
+
+    # ---- Table II ---------------------------------------------------------- #
+    print("== Table II: production/consumption patterns (percent of phase) ==", file=out)
+    print(f"{'app':>10} | {'prod 1st':>9} {'prod 1/4':>9} {'prod 1/2':>9} "
+          f"{'prod all':>9} | {'cons 0':>8} {'cons 1/4':>9} {'cons 1/2':>9}", file=out)
+    for a in apps:
+        row = pattern_row(exps[a])
+        pp, pc = PAPER_PRODUCTION[a], PAPER_CONSUMPTION[a]
+        p, c = row.production, row.consumption
+        print(f"{a:>10} | {_fmt_pct(p.first_element):>9} {_fmt_pct(p.quarter):>9} "
+              f"{_fmt_pct(p.half):>9} {_fmt_pct(p.whole):>9} | {_fmt_pct(c.nothing):>8} "
+              f"{_fmt_pct(c.quarter):>9} {_fmt_pct(c.half):>9}   (measured)", file=out)
+        print(f"{'':>10} | {_fmt_pct(pp.first_element):>9} {_fmt_pct(pp.quarter):>9} "
+              f"{_fmt_pct(pp.half):>9} {_fmt_pct(pp.whole):>9} | {_fmt_pct(pc.nothing):>8} "
+              f"{_fmt_pct(pc.quarter):>9} {_fmt_pct(pc.half):>9}   (paper)", file=out)
+    print(file=out)
+
+    # ---- Figure 4 ---------------------------------------------------------- #
+    print("== Figure 4: NAS-CG, 4 processes, first five iterations ==", file=out)
+    cg4 = AppExperiment("cg", nranks=4)
+    r0, r1 = cg4.simulate("original"), cg4.simulate("real")
+    cmp_ = compare(r0, r1)
+    t0, t1 = iteration_bounds(r0, 0, 5)
+    print(cmp_.report(width=88, t0=t0, t1=min(t1, max(r0.duration, r1.duration))), file=out)
+    print(f"paper: ~8% improvement; measured: {cmp_.timing.improvement_percent:.1f}%", file=out)
+    print(file=out)
+
+    # ---- Figure 5 ---------------------------------------------------------- #
+    print("== Figure 5: access-pattern series (summary statistics) ==", file=out)
+    for app, kind in (("sweep3d", "production"), ("bt", "consumption"),
+                      ("pop", "consumption")):
+        x, y = figure5_series(app, kind, nranks=16)
+        if x.size:
+            print(f"{app:>10} {kind:<12} points={x.size:>7} "
+                  f"x-range=[{x.min():.3f}, {x.max():.3f}] "
+                  f"buffer-elements={int(y.max()) + 1}", file=out)
+    print(file=out)
+
+    # ---- Future work: phase-level headroom --------------------------------- #
+    from ..core.phases import phase_overlap_potential
+    print("== Phase-level overlap headroom (paper's future work) ==", file=out)
+    for a in apps:
+        channel = None if a == "alya" else 0
+        pot = phase_overlap_potential(exps[a].trace("original"), channel=channel)
+        print(f"{a:>10}: independent consumption "
+              f"{pot.independent_fraction * 100:5.1f}%  pre-production "
+              f"{pot.preproduction_fraction * 100:5.1f}%  reorderable "
+              f"{pot.reorderable_seconds * 1e3:9.3f} ms", file=out)
+    print(file=out)
+
+    # ---- Figure 6 ---------------------------------------------------------- #
+    print("== Figure 6: overlap benefits ==", file=out)
+    header = f"{'app':>10} {'real':>8} {'ideal':>8}"
+    if include_bandwidth:
+        header += (f" {'relaxBW(real)':>14} {'relaxBW(ideal)':>15}"
+                   f" {'equivBW(real)':>14} {'equivBW(ideal)':>15}")
+    print(header, file=out)
+    for a in apps:
+        e = exps[a]
+        s = e.speedups()
+        line = f"{a:>10} {s['real']:8.4f} {s['ideal']:8.4f}"
+        if include_bandwidth:
+            rr = relaxation_bandwidth(e, "real")
+            ri = relaxation_bandwidth(e, "ideal")
+            er = equivalent_bandwidth(e, "real")
+            ei = equivalent_bandwidth(e, "ideal")
+            line += (f" {_fmt_bw(rr):>14} {_fmt_bw(ri):>15}"
+                     f" {_fmt_bw(er):>14} {_fmt_bw(ei):>15}")
+        print(line, file=out)
+    return out.getvalue()
+
+
+def main() -> None:  # pragma: no cover - exercised via CLI
+    """Entry point of ``python -m repro.experiments.report``."""
+    import argparse
+
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--nranks", type=int, default=DEFAULT_NRANKS)
+    ap.add_argument("--no-bandwidth", action="store_true",
+                    help="skip the (slow) Figure 6(b)/(c) searches")
+    args = ap.parse_args()
+    print(full_report(nranks=args.nranks,
+                      include_bandwidth=not args.no_bandwidth))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,26 @@
+"""Timeline visualization and profiling (the framework's Paraver stage)."""
+
+from .compare import ExecutionComparison, compare
+from .critical import CriticalPath, PathSegment, critical_path, render_path
+from .gantt import STATE_CHARS, render_comparison, render_gantt
+from .histogram import (
+    Histogram,
+    flight_time_histogram,
+    message_size_histogram,
+    render_heatmap,
+    render_histogram,
+    state_duration_histogram,
+)
+from .stats import CommStats, comm_stats, profile_table, state_matrix
+from .svg import STATE_COLORS, render_svg, write_svg
+from .timeline import iteration_bounds, sample_states
+
+__all__ = [
+    "CommStats", "CriticalPath", "ExecutionComparison", "Histogram",
+    "PathSegment", "STATE_CHARS", "STATE_COLORS", "critical_path", "render_path",
+    "flight_time_histogram", "message_size_histogram", "render_heatmap",
+    "render_histogram", "state_duration_histogram",
+    "comm_stats", "compare", "iteration_bounds", "profile_table",
+    "render_comparison", "render_gantt", "render_svg", "sample_states",
+    "state_matrix", "write_svg",
+]

@@ -1,0 +1,157 @@
+"""Critical-path analysis of reconstructed executions.
+
+The paper positions the framework as development support: implementers
+*"can use the framework ... because Paraver visualization could help
+them identify specific bottlenecks in their implementations"* (§VII).
+This module automates that inspection: it walks the makespan-defining
+dependency chain backwards through the reconstructed timeline —
+following each blocking interval to the message whose arrival released
+it, hopping to that message's sender — and attributes every second of
+the critical path to compute, wire occupancy, network queueing,
+latency, or collective synchronization.
+
+The resulting breakdown answers the overlap study's key question
+directly: what fraction of the remaining runtime could still be hidden
+(wire/queueing/latency) versus what is irreducible computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dimemas.results import MessageFlight, SimResult
+
+__all__ = ["CriticalPath", "PathSegment", "critical_path", "render_path"]
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class PathSegment:
+    """One hop of the critical path (on one rank, time-descending)."""
+
+    rank: int
+    t0: float
+    t1: float
+    kind: str          # "compute" | "wire" | "queue" | "latency" | "collective" | "idle"
+
+    @property
+    def span(self) -> float:
+        return self.t1 - self.t0
+
+
+@dataclass
+class CriticalPath:
+    """The makespan-defining chain and its cost attribution."""
+
+    segments: list[PathSegment] = field(default_factory=list)
+    hops: int = 0
+
+    def breakdown(self) -> dict[str, float]:
+        """Seconds of the critical path per cost category."""
+        out: dict[str, float] = {}
+        for seg in self.segments:
+            out[seg.kind] = out.get(seg.kind, 0.0) + seg.span
+        return out
+
+    @property
+    def length(self) -> float:
+        return sum(seg.span for seg in self.segments)
+
+    def fraction(self, kind: str) -> float:
+        """Share of the path attributed to one category."""
+        total = self.length
+        return self.breakdown().get(kind, 0.0) / total if total > 0 else 0.0
+
+
+def _message_arriving(result: SimResult, dst: int, t: float) -> MessageFlight | None:
+    """The message into ``dst`` delivered closest to (and not after) t."""
+    best = None
+    for m in result.messages:
+        if m.dst != dst or m.t_recv > t + 1e-9:
+            continue
+        if best is None or m.t_recv > best.t_recv:
+            best = m
+    return best
+
+
+def critical_path(result: SimResult, max_hops: int = 100_000) -> CriticalPath:
+    """Walk the critical path backwards from the last-finishing rank.
+
+    Within a rank, Running time is attributed to ``compute`` and
+    collective blocking to ``collective``; a blocking interval that a
+    message release ends is decomposed into the sender-side pieces:
+    queueing (send -> wire start), wire occupancy, and latency, after
+    which the walk continues on the sending rank at the send time.
+    """
+    path = CriticalPath()
+    rank = max(range(result.nranks), key=lambda r: result.rank_end[r])
+    t = result.rank_end[rank]
+
+    while t > _EPS and path.hops < max_hops:
+        intervals = result.states[rank]
+        # the interval covering (t - eps)
+        current = None
+        for s, a, b in reversed(intervals):
+            if a < t - _EPS and b >= t - 1e-9:
+                current = (s, a, min(b, t))
+                break
+        if current is None:
+            # gap before the first interval (or between intervals):
+            # attribute as idle back to the previous interval end
+            prev_end = 0.0
+            for s, a, b in intervals:
+                if b <= t - _EPS:
+                    prev_end = max(prev_end, b)
+            path.segments.append(PathSegment(rank, prev_end, t, "idle"))
+            t = prev_end
+            continue
+        state, a, b = current
+        if state == "Running":
+            path.segments.append(PathSegment(rank, a, b, "compute"))
+            t = a
+            continue
+        if state == "Group communication":
+            path.segments.append(PathSegment(rank, a, b, "collective"))
+            t = a
+            continue
+        # Blocking communication: find the releasing message and
+        # decompose its delay into wire+latency (t_start -> t_recv) and
+        # resource queueing (t_send -> t_start), then hop to the sender.
+        msg = _message_arriving(result, rank, b)
+        if msg is None:
+            path.segments.append(PathSegment(rank, a, b, "idle"))
+            t = a
+            continue
+        path.segments.append(
+            PathSegment(rank, msg.t_start, msg.t_recv, "wire")
+        )
+        if msg.t_start > msg.t_send + _EPS:
+            path.segments.append(
+                PathSegment(msg.src, msg.t_send, msg.t_start, "queue")
+            )
+        path.hops += 1
+        rank = msg.src
+        t = msg.t_send
+
+    return path
+
+
+def render_path(path: CriticalPath, top: int = 12) -> str:
+    """Text summary: category breakdown + the longest segments."""
+    lines = [
+        f"critical path: {path.length * 1e3:.3f} ms over {path.hops} "
+        f"message hops",
+    ]
+    total = path.length or 1.0
+    for kind, sec in sorted(path.breakdown().items(), key=lambda kv: -kv[1]):
+        lines.append(f"  {kind:<10} {sec * 1e3:9.3f} ms  ({sec / total * 100:5.1f}%)")
+    longest = sorted(path.segments, key=lambda s: -s.span)[:top]
+    lines.append(f"longest segments (top {len(longest)}):")
+    for seg in longest:
+        lines.append(
+            f"  rank {seg.rank:>3} {seg.kind:<10} "
+            f"{seg.t0 * 1e6:10.1f} .. {seg.t1 * 1e6:10.1f} us "
+            f"({seg.span * 1e6:8.1f} us)"
+        )
+    return "\n".join(lines)

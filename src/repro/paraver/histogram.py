@@ -1,0 +1,137 @@
+"""Histogram views over reconstructed timelines.
+
+Paraver's second workhorse (besides timelines) is its histogram/2-D
+analyzer.  These reductions cover the uses the overlap study needs:
+distribution of state durations (how long are the waits?), message
+sizes and flight times, and a rank-vs-time activity heatmap — each with
+a plain-text renderer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dimemas.results import SimResult
+from .timeline import sample_states
+
+__all__ = [
+    "Histogram",
+    "flight_time_histogram",
+    "message_size_histogram",
+    "render_heatmap",
+    "render_histogram",
+    "state_duration_histogram",
+]
+
+_BLOCKS = " .:-=+*#%@"
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """Binned counts with edges (``len(edges) == len(counts) + 1``)."""
+
+    label: str
+    edges: np.ndarray
+    counts: np.ndarray
+
+    @property
+    def total(self) -> int:
+        return int(self.counts.sum())
+
+    def mean(self) -> float:
+        """Mean of the underlying samples (midpoint approximation)."""
+        if self.total == 0:
+            return 0.0
+        mids = 0.5 * (self.edges[:-1] + self.edges[1:])
+        return float((mids * self.counts).sum() / self.total)
+
+
+def _make(label: str, samples: np.ndarray, bins: int,
+          log: bool = False) -> Histogram:
+    if samples.size == 0:
+        return Histogram(label, np.array([0.0, 1.0]), np.zeros(1, dtype=int))
+    lo, hi = float(samples.min()), float(samples.max())
+    if hi <= lo:
+        hi = lo + max(abs(lo), 1.0) * 1e-9 + 1e-30
+    if log and lo > 0:
+        edges = np.geomspace(lo, hi, bins + 1)
+    else:
+        edges = np.linspace(lo, hi, bins + 1)
+    counts, edges = np.histogram(samples, bins=edges)
+    return Histogram(label, edges, counts)
+
+
+def state_duration_histogram(
+    result: SimResult, state: str, bins: int = 12, log: bool = False,
+) -> Histogram:
+    """Distribution of individual interval durations of one state."""
+    samples = np.array([
+        t1 - t0
+        for intervals in result.states
+        for (s, t0, t1) in intervals
+        if s == state
+    ])
+    return _make(f"{state} interval durations (s)", samples, bins, log)
+
+
+def message_size_histogram(result: SimResult, bins: int = 12) -> Histogram:
+    """Distribution of message sizes (bytes)."""
+    samples = np.array([m.size for m in result.messages], dtype=float)
+    return _make("message sizes (bytes)", samples, bins)
+
+
+def flight_time_histogram(result: SimResult, bins: int = 12) -> Histogram:
+    """Distribution of end-to-end message delays."""
+    samples = np.array([m.flight_time for m in result.messages])
+    return _make("message flight times (s)", samples, bins)
+
+
+def render_histogram(hist: Histogram, width: int = 48) -> str:
+    """Horizontal-bar text rendering of a histogram."""
+    lines = [f"{hist.label}  (n={hist.total}, mean={hist.mean():.3g})"]
+    peak = int(hist.counts.max()) if hist.counts.size else 0
+    for k in range(hist.counts.size):
+        n = int(hist.counts[k])
+        bar = "#" * (round(n / peak * width) if peak else 0)
+        lines.append(
+            f"[{hist.edges[k]:>10.3g}, {hist.edges[k + 1]:>10.3g})"
+            f" {n:>7} |{bar}"
+        )
+    return "\n".join(lines)
+
+
+def render_heatmap(
+    result: SimResult,
+    state: str = "Running",
+    width: int = 64,
+    t0: float | None = None,
+    t1: float | None = None,
+) -> str:
+    """Rank-vs-time density of one state (Paraver's 2-D analyzer view).
+
+    Each cell shows what share of the bin the rank spent in ``state``,
+    using a 10-level character ramp.
+    """
+    grid, lo, hi = sample_states(result, width, t0, t1)
+    bin_w = (hi - lo) / width
+    lines = [f"share of '{state}' per (rank, {bin_w * 1e6:.1f} us bin)"]
+    for rank in range(result.nranks):
+        cover = np.zeros(width)
+        for s, a, b in result.states[rank]:
+            if s != state:
+                continue
+            a, b = max(a, lo), min(b, hi)
+            if b <= a:
+                continue
+            first = int((a - lo) / bin_w)
+            last = min(int((b - lo) / bin_w), width - 1)
+            for k in range(first, last + 1):
+                ka, kb = lo + k * bin_w, lo + (k + 1) * bin_w
+                cover[k] += min(b, kb) - max(a, ka)
+        frac = np.clip(cover / bin_w, 0.0, 1.0)
+        row = "".join(_BLOCKS[int(round(f * (len(_BLOCKS) - 1)))] for f in frac)
+        lines.append(f"rank {rank:>3} |{row}|")
+    lines.append(f"ramp: '{_BLOCKS}' = 0%..100%")
+    return "\n".join(lines)

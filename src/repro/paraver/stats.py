@@ -1,0 +1,91 @@
+"""Profile statistics over reconstructed timelines.
+
+The numeric counterpart of Paraver's profile views: time per state per
+rank, communication statistics, and plain-text tables used by the
+experiment reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dimemas.results import SimResult, STATE_NAMES
+
+__all__ = ["CommStats", "comm_stats", "profile_table", "state_matrix"]
+
+
+def state_matrix(result: SimResult) -> tuple[np.ndarray, list[str]]:
+    """Seconds per (rank, state) as a dense matrix plus the state order."""
+    names = [s for s in STATE_NAMES if s != "Idle"]
+    mat = np.zeros((result.nranks, len(names)))
+    index = {n: j for j, n in enumerate(names)}
+    for rank in range(result.nranks):
+        for s, t0, t1 in result.states[rank]:
+            j = index.get(s)
+            if j is not None:
+                mat[rank, j] += t1 - t0
+    return mat, names
+
+
+def profile_table(result: SimResult, percent: bool = True) -> str:
+    """Text table: per-rank time (or %) in each state + totals row."""
+    mat, names = state_matrix(result)
+    denom = result.duration if result.duration > 0 else 1.0
+    header = f"{'rank':>6} " + " ".join(f"{n[:12]:>14}" for n in names)
+    lines = [header]
+    for rank in range(result.nranks):
+        cells = []
+        for j in range(len(names)):
+            v = mat[rank, j]
+            cells.append(
+                f"{100 * v / denom:>13.2f}%" if percent else f"{v:>14.6f}"
+            )
+        lines.append(f"{rank:>6} " + " ".join(cells))
+    tot = mat.sum(axis=0)
+    tot_denom = denom * result.nranks
+    cells = [
+        f"{100 * v / tot_denom:>13.2f}%" if percent else f"{v:>14.6f}"
+        for v in tot
+    ]
+    lines.append(f"{'all':>6} " + " ".join(cells))
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class CommStats:
+    """Aggregate statistics over the message flights of a run."""
+
+    count: int
+    total_bytes: int
+    mean_flight: float
+    max_flight: float
+    mean_queue_delay: float
+    max_queue_delay: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.count} messages, {self.total_bytes} bytes, "
+            f"flight mean/max = {self.mean_flight * 1e6:.2f}/"
+            f"{self.max_flight * 1e6:.2f} us, "
+            f"queueing mean/max = {self.mean_queue_delay * 1e6:.2f}/"
+            f"{self.max_queue_delay * 1e6:.2f} us"
+        )
+
+
+def comm_stats(result: SimResult) -> CommStats:
+    """Reduce the message list to :class:`CommStats`."""
+    msgs = result.messages
+    if not msgs:
+        return CommStats(0, 0, 0.0, 0.0, 0.0, 0.0)
+    flights = np.array([m.flight_time for m in msgs])
+    queues = np.array([m.queue_delay for m in msgs])
+    return CommStats(
+        count=len(msgs),
+        total_bytes=int(sum(m.size for m in msgs)),
+        mean_flight=float(flights.mean()),
+        max_flight=float(flights.max()),
+        mean_queue_delay=float(queues.mean()),
+        max_queue_delay=float(queues.max()),
+    )

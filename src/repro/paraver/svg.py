@@ -1,0 +1,120 @@
+"""SVG rendering of reconstructed timelines.
+
+Produces a self-contained SVG close to the Paraver window of paper
+Figure 4: one horizontal band per rank coloured by state, with message
+lines drawn from the sender's send time to the receiver's delivery
+time (the "synchronization lines" the paper points at when explaining
+where NAS-CG's 8 % improvement comes from).
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import TextIO
+
+from ..dimemas.results import SimResult
+
+__all__ = ["STATE_COLORS", "write_svg", "render_svg"]
+
+#: Classic Paraver palette (state -> fill colour).
+STATE_COLORS: dict[str, str] = {
+    "Running": "#2f7ed8",
+    "Send": "#c94f4f",
+    "Waiting a message": "#e8b54d",
+    "Wait/WaitAll": "#b07aa1",
+    "Group communication": "#76b043",
+    "Idle": "#d9d9d9",
+}
+
+_ROW_H = 22
+_ROW_GAP = 6
+_MARGIN_L = 72
+_MARGIN_T = 28
+_MARGIN_B = 34
+
+
+def render_svg(
+    result: SimResult,
+    width: int = 900,
+    t0: float | None = None,
+    t1: float | None = None,
+    title: str = "",
+    draw_messages: bool = True,
+    max_message_lines: int = 400,
+) -> str:
+    """Render a timeline window as an SVG document string."""
+    lo = 0.0 if t0 is None else t0
+    hi = result.duration if t1 is None else t1
+    if hi <= lo:
+        hi = lo + 1e-12
+
+    def x(t: float) -> float:
+        return _MARGIN_L + (max(min(t, hi), lo) - lo) / (hi - lo) * width
+
+    def y(rank: int) -> float:
+        return _MARGIN_T + rank * (_ROW_H + _ROW_GAP)
+
+    height = _MARGIN_T + result.nranks * (_ROW_H + _ROW_GAP) + _MARGIN_B
+    parts: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" '
+        f'width="{width + _MARGIN_L + 16}" height="{height}" '
+        f'font-family="monospace" font-size="12">',
+        f'<text x="{_MARGIN_L}" y="16">{html.escape(title)}</text>',
+    ]
+    for rank in range(result.nranks):
+        parts.append(
+            f'<text x="4" y="{y(rank) + _ROW_H * 0.7:.1f}">rank {rank}</text>'
+        )
+        for state, a, b in result.states[rank]:
+            a2, b2 = max(a, lo), min(b, hi)
+            if b2 <= a2:
+                continue
+            color = STATE_COLORS.get(state, "#999999")
+            parts.append(
+                f'<rect x="{x(a2):.2f}" y="{y(rank):.1f}" '
+                f'width="{max(x(b2) - x(a2), 0.4):.2f}" height="{_ROW_H}" '
+                f'fill="{color}"><title>{html.escape(state)} '
+                f'{(b2 - a2) * 1e6:.2f}us</title></rect>'
+            )
+    if draw_messages:
+        shown = 0
+        for m in result.messages:
+            if m.t_recv < lo or m.t_send > hi or m.src == m.dst:
+                continue
+            parts.append(
+                f'<line x1="{x(m.t_send):.2f}" y1="{y(m.src) + _ROW_H / 2:.1f}" '
+                f'x2="{x(m.t_recv):.2f}" y2="{y(m.dst) + _ROW_H / 2:.1f}" '
+                f'stroke="#404040" stroke-width="0.8" opacity="0.6"/>'
+            )
+            shown += 1
+            if shown >= max_message_lines:
+                break
+    # Axis and legend.
+    ybase = _MARGIN_T + result.nranks * (_ROW_H + _ROW_GAP) + 4
+    parts.append(
+        f'<text x="{_MARGIN_L}" y="{ybase + 12}">'
+        f'{lo * 1e6:.1f} us</text>'
+    )
+    parts.append(
+        f'<text x="{_MARGIN_L + width - 70}" y="{ybase + 12}">'
+        f'{hi * 1e6:.1f} us</text>'
+    )
+    lx = _MARGIN_L + 90
+    for state, color in STATE_COLORS.items():
+        parts.append(
+            f'<rect x="{lx}" y="{ybase + 4}" width="10" height="10" fill="{color}"/>'
+            f'<text x="{lx + 14}" y="{ybase + 13}">{html.escape(state)}</text>'
+        )
+        lx += 14 + 8 * len(state) + 22
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def write_svg(result: SimResult, fp: TextIO | str | Path, **kwargs) -> None:
+    """Write :func:`render_svg` output to a path or stream."""
+    doc = render_svg(result, **kwargs)
+    if isinstance(fp, (str, Path)):
+        Path(fp).write_text(doc, encoding="utf-8")
+    else:
+        fp.write(doc)

@@ -1,0 +1,24 @@
+"""Simulated MPI runtime: deterministic, observable, mpi4py-flavoured.
+
+This package replaces the role of "a real MPI application running under
+Valgrind" in the original framework: simulated applications written
+against :class:`~repro.smpi.api.Comm` execute for real (data actually
+moves between ranks) while an :class:`~repro.smpi.runtime.Observer`
+watches every MPI call, compute burst, and buffer access.
+"""
+
+from .api import ANY_SOURCE, ANY_TAG, Comm
+from .matching import MessageBoard
+from .requests import Request
+from .runtime import (
+    AccessBatch,
+    DeadlockError,
+    Observer,
+    RankFailedError,
+    Runtime,
+)
+
+__all__ = [
+    "ANY_SOURCE", "ANY_TAG", "AccessBatch", "Comm", "DeadlockError",
+    "MessageBoard", "Observer", "RankFailedError", "Request", "Runtime",
+]

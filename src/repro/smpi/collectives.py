@@ -1,0 +1,326 @@
+"""Collective operations built from point-to-point transfers.
+
+Paper §III-C: *"collective communication operations are performed in
+Dimemas without assuming any collective hardware support on the
+network, so they are implemented as usual using multiple point-to-point
+MPI transfers."*  We follow the classic MPICH-era algorithms: binomial
+trees for broadcast/reduce (and reduce+broadcast for their all-
+variants), linear trees for (un)rooted gathers, and a rotation schedule
+for all-to-all.  All internal traffic is sent on
+:data:`~repro.trace.records.CHANNEL_COLLECTIVE` with the collective's
+sequence number as the tag, so the tracer records the decomposition
+exactly as the simulator will replay it.
+
+When the runtime is configured with ``decompose_collectives=False``,
+the same algorithms still move the data (the runtime stays functional)
+but the observer instead sees a single
+:meth:`~repro.smpi.runtime.Observer.on_collective` event per rank, to
+be replayed with Dimemas' analytic collective model — used by the
+collective-model ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..trace.records import CHANNEL_COLLECTIVE
+from .datatypes import measure
+
+__all__ = [
+    "allgather",
+    "allreduce",
+    "alltoall",
+    "barrier",
+    "bcast",
+    "combine",
+    "gather",
+    "reduce",
+    "reduce_scatter",
+    "scatter",
+]
+
+_SCALAR_OPS: dict[str, Callable] = {
+    "sum": operator.add,
+    "prod": operator.mul,
+    "max": max,
+    "min": min,
+}
+_ARRAY_OPS: dict[str, Callable] = {
+    "sum": np.add,
+    "prod": np.multiply,
+    "max": np.maximum,
+    "min": np.minimum,
+}
+
+
+def combine(op: str | Callable, a: Any, b: Any) -> Any:
+    """Combine two reduction operands with ``op``.
+
+    ``op`` may be one of ``"sum" | "prod" | "max" | "min"`` or a binary
+    callable.  Arrays combine elementwise (never in place — operands
+    may alias application buffers).
+    """
+    if callable(op):
+        return op(a, b)
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        try:
+            return _ARRAY_OPS[op](a, b)
+        except KeyError:
+            raise ValueError(f"unknown reduction op {op!r}") from None
+    try:
+        return _SCALAR_OPS[op](a, b)
+    except KeyError:
+        raise ValueError(f"unknown reduction op {op!r}") from None
+
+
+def _analytic(comm, name: str, root: int, send_size: int, recv_size: int,
+              seq: int, send_buf: Any = None, recv_buf: Any = None):
+    """Report a collective to the observer and mute internal traffic."""
+    if comm._observing:
+        comm._obs.on_collective(
+            comm.rank, name, root, send_size, recv_size, seq,
+            send_buf, recv_buf, comm._context, comm.size,
+        )
+
+    class _Muted:
+        def __enter__(self_inner):
+            self_inner.prev = comm._observing
+            comm._observing = False
+
+        def __exit__(self_inner, *exc):
+            comm._observing = self_inner.prev
+
+    return _Muted()
+
+
+class _Passthrough:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+def _mode(comm, name, root, send_size, recv_size, seq,
+          send_buf=None, recv_buf=None):
+    if comm.runtime.decompose_collectives or not comm._observing:
+        return _Passthrough()
+    return _analytic(comm, name, root, send_size, recv_size, seq,
+                     send_buf, recv_buf)
+
+
+# --------------------------------------------------------------------------- #
+# Rooted collectives (binomial trees).
+# --------------------------------------------------------------------------- #
+
+def bcast(comm, obj: Any, root: int = 0, buf: Any = None) -> Any:
+    """Binomial-tree broadcast from ``root``.
+
+    ``buf`` optionally receives the payload in place on non-root ranks
+    (mpi4py ``Bcast`` style); receiving into a persistent buffer is what
+    lets the tracer attach consumption profiles to collective results.
+    """
+    size, rank = comm.size, comm.rank
+    seq = comm._next_coll_seq()
+    nbytes = measure(obj)[0] if rank == root else 0
+    with _mode(comm, "bcast", root, nbytes, nbytes, seq, send_buf=obj):
+        if size == 1:
+            return obj
+        rel = (rank - root) % size
+        mask = 1
+        while mask < size:
+            if rel & mask:
+                src = (rel - mask + root) % size
+                obj = comm.recv(src, tag=seq, channel=CHANNEL_COLLECTIVE, buf=buf)
+                break
+            mask <<= 1
+        mask >>= 1
+        while mask > 0:
+            if rel + mask < size and not rel & mask:
+                dst = (rel + mask + root) % size
+                comm.send(obj, dst, tag=seq, channel=CHANNEL_COLLECTIVE)
+            mask >>= 1
+        return obj
+
+
+def reduce(comm, value: Any, op: str | Callable = "sum", root: int = 0) -> Any:
+    """Binomial-tree reduction to ``root`` (returns ``None`` elsewhere)."""
+    size, rank = comm.size, comm.rank
+    seq = comm._next_coll_seq()
+    nbytes = measure(value)[0]
+    with _mode(comm, "reduce", root, nbytes, nbytes if rank == root else 0,
+               seq, send_buf=value):
+        if size == 1:
+            return value
+        rel = (rank - root) % size
+        acc = value
+        mask = 1
+        while mask < size:
+            if rel & mask == 0:
+                child_rel = rel | mask
+                if child_rel < size:
+                    child = (child_rel + root) % size
+                    other = comm.recv(child, tag=seq, channel=CHANNEL_COLLECTIVE)
+                    acc = combine(op, acc, other)
+            else:
+                parent = (rel - mask + root) % size
+                comm.send(acc, parent, tag=seq, channel=CHANNEL_COLLECTIVE)
+                break
+            mask <<= 1
+        return acc if rank == root else None
+
+
+def barrier(comm) -> None:
+    """Synchronization barrier: zero-byte binomial reduce + broadcast."""
+    size, rank = comm.size, comm.rank
+    seq = comm._next_coll_seq()
+    with _mode(comm, "barrier", 0, 0, 0, seq):
+        if size == 1:
+            return
+        # Fan-in to rank 0.
+        rel = rank
+        mask = 1
+        while mask < size:
+            if rel & mask == 0:
+                if rel | mask < size:
+                    comm.recv(rel | mask, tag=seq, channel=CHANNEL_COLLECTIVE)
+            else:
+                comm.send(None, rel - mask, tag=seq, channel=CHANNEL_COLLECTIVE)
+                break
+            mask <<= 1
+        # Fan-out from rank 0 (same tree, reused tag on a second sub id).
+        mask = 1
+        while mask < size:
+            if rel & mask:
+                comm.recv(rel - mask, tag=seq, channel=CHANNEL_COLLECTIVE, sub=1)
+                break
+            mask <<= 1
+        mask >>= 1
+        while mask > 0:
+            if rel + mask < size and not rel & mask:
+                comm.send(None, rel + mask, tag=seq, channel=CHANNEL_COLLECTIVE, sub=1)
+            mask >>= 1
+
+
+def allreduce(comm, value: Any, op: str | Callable = "sum", buf: Any = None) -> Any:
+    """Reduce to rank 0 then broadcast (Dimemas' non-hardware model).
+
+    ``buf`` optionally receives the combined result in place (mpi4py
+    ``Allreduce`` style).
+    """
+    seq_guard = None
+    if not comm.runtime.decompose_collectives:
+        nbytes = measure(value)[0]
+        seq = comm._next_coll_seq()
+        seq_guard = _analytic(comm, "allreduce", 0, nbytes, nbytes, seq,
+                              send_buf=value)
+    if seq_guard is not None:
+        with seq_guard:
+            acc = reduce(comm, value, op, root=0)
+            out = bcast(comm, acc, root=0, buf=buf)
+    else:
+        acc = reduce(comm, value, op, root=0)
+        out = bcast(comm, acc, root=0, buf=buf)
+    if buf is not None and comm.rank == 0:
+        np.copyto(np.asarray(buf).reshape(-1), np.asarray(out).reshape(-1))
+        return buf
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# Gather family (linear trees) and all-to-all.
+# --------------------------------------------------------------------------- #
+
+def gather(comm, value: Any, root: int = 0) -> list[Any] | None:
+    """Linear gather of one value per rank into a list at ``root``."""
+    size, rank = comm.size, comm.rank
+    seq = comm._next_coll_seq()
+    nbytes = measure(value)[0]
+    with _mode(comm, "gather", root, nbytes, nbytes * size if rank == root else 0,
+               seq, send_buf=value):
+        if rank != root:
+            comm.send(value, root, tag=seq, channel=CHANNEL_COLLECTIVE)
+            return None
+        out: list[Any] = []
+        for r in range(size):
+            if r == rank:
+                out.append(value)
+            else:
+                out.append(comm.recv(r, tag=seq, channel=CHANNEL_COLLECTIVE))
+        return out
+
+
+def scatter(comm, values: Sequence[Any] | None, root: int = 0) -> Any:
+    """Linear scatter of ``values[r]`` to every rank ``r`` from ``root``."""
+    size, rank = comm.size, comm.rank
+    seq = comm._next_coll_seq()
+    if rank == root:
+        if values is None or len(values) != size:
+            raise ValueError(f"scatter root needs exactly {size} values")
+        nbytes = sum(measure(v)[0] for v in values)
+    else:
+        nbytes = 0
+    with _mode(comm, "scatter", root, nbytes, 0, seq, send_buf=values):
+        if rank == root:
+            own = None
+            for r in range(size):
+                if r == rank:
+                    own = values[r]
+                else:
+                    comm.send(values[r], r, tag=seq, channel=CHANNEL_COLLECTIVE)
+            return own
+        return comm.recv(root, tag=seq, channel=CHANNEL_COLLECTIVE)
+
+
+def allgather(comm, value: Any) -> list[Any]:
+    """Gather at rank 0 followed by a broadcast of the list."""
+    if comm.runtime.decompose_collectives:
+        out = gather(comm, value, root=0)
+        return bcast(comm, out, root=0)
+    nbytes = measure(value)[0]
+    seq = comm._next_coll_seq()
+    with _analytic(comm, "allgather", 0, nbytes, nbytes * comm.size, seq,
+                   send_buf=value):
+        out = gather(comm, value, root=0)
+        return bcast(comm, out, root=0)
+
+
+def alltoall(comm, values: Sequence[Any]) -> list[Any]:
+    """Rotation-scheduled personalized exchange (``values[r]`` to rank r)."""
+    size, rank = comm.size, comm.rank
+    if len(values) != size:
+        raise ValueError(f"alltoall needs exactly {size} values, got {len(values)}")
+    seq = comm._next_coll_seq()
+    nbytes = sum(measure(v)[0] for v in values)
+    with _mode(comm, "alltoall", 0, nbytes, nbytes, seq, send_buf=values):
+        out: list[Any] = [None] * size
+        out[rank] = values[rank]
+        for k in range(1, size):
+            dst = (rank + k) % size
+            src = (rank - k) % size
+            comm.send(values[dst], dst, tag=seq, channel=CHANNEL_COLLECTIVE)
+            out[src] = comm.recv(src, tag=seq, channel=CHANNEL_COLLECTIVE)
+        return out
+
+
+def reduce_scatter(comm, values: Sequence[Any], op: str | Callable = "sum") -> Any:
+    """Elementwise reduce of per-rank lists, then scatter block ``rank``."""
+    size = comm.size
+    if len(values) != size:
+        raise ValueError(f"reduce_scatter needs exactly {size} values")
+
+    def _list_op(a: Sequence[Any], b: Sequence[Any]) -> list[Any]:
+        return [combine(op, x, y) for x, y in zip(a, b)]
+
+    if comm.runtime.decompose_collectives:
+        combined = reduce(comm, list(values), _list_op, root=0)
+        return scatter(comm, combined, root=0)
+    nbytes = sum(measure(v)[0] for v in values)
+    seq = comm._next_coll_seq()
+    with _analytic(comm, "reduce_scatter", 0, nbytes, nbytes // max(size, 1),
+                   seq, send_buf=values):
+        combined = reduce(comm, list(values), _list_op, root=0)
+        return scatter(comm, combined, root=0)

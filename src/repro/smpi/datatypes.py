@@ -1,0 +1,38 @@
+"""Payload size accounting for the simulated runtime.
+
+MPI messages have a wire size; the tracer turns it into the ``size``
+field of trace records and the replay simulator charges
+``latency + size/bandwidth`` for it.  NumPy arrays use their exact
+buffer size (the mpi4py "upper-case" fast path); generic Python
+objects are measured by their pickled length (the "lower-case" path).
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any
+
+import numpy as np
+
+__all__ = ["measure"]
+
+
+def measure(payload: Any) -> tuple[int, int, int]:
+    """Return ``(size_bytes, elements, elem_size)`` of a payload.
+
+    * ndarray: ``(nbytes, size, itemsize)``;
+    * bytes-like: ``(len, len, 1)``;
+    * None: ``(0, 0, 1)`` (pure synchronization);
+    * anything else: pickled length, counted as one element.
+    """
+    if payload is None:
+        return (0, 0, 1)
+    if isinstance(payload, np.ndarray):
+        return (int(payload.nbytes), int(payload.size), int(payload.itemsize))
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        n = len(payload)
+        return (n, n, 1)
+    if isinstance(payload, (bool, int, float, complex)):
+        return (8, 1, 8)
+    n = len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+    return (n, 1, n)

@@ -1,0 +1,80 @@
+"""Request objects for non-blocking simulated MPI operations."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = ["Request"]
+
+
+class Request:
+    """Handle of a non-blocking operation (mpi4py-style).
+
+    Simulated sends buffer eagerly, so send requests are born complete;
+    receive requests complete when a matching message arrives.  The
+    *functional* completion modelled here is separate from the *timed*
+    completion decided later by the replay simulator.
+    """
+
+    __slots__ = ("comm", "rank", "req_id", "kind", "_pr", "_buf", "_token", "_done", "_value")
+
+    def __init__(self, comm, rank: int, req_id: int, kind: str,
+                 pr=None, buf=None, token=None):
+        if kind not in ("isend", "irecv"):
+            raise ValueError(f"invalid request kind {kind!r}")
+        self.comm = comm
+        self.rank = rank
+        self.req_id = req_id
+        self.kind = kind
+        self._pr = pr
+        self._buf = buf
+        self._token = token
+        self._done = kind == "isend"
+        self._value: Any = None
+
+    # -- completion ---------------------------------------------------------
+    def _functionally_complete(self) -> bool:
+        if self._done:
+            return True
+        return self.comm.runtime.board.is_complete(self._pr)
+
+    def _finish(self) -> None:
+        """Extract the payload of a completed receive (idempotent)."""
+        if self._done:
+            return
+        env = self.comm.runtime.board.take(self._pr)
+        if self._buf is not None:
+            np.copyto(np.asarray(self._buf).reshape(-1), np.asarray(env.payload).reshape(-1))
+            self._value = self._buf
+        else:
+            self._value = env.payload
+        obs = self.comm.runtime.observers[self.rank]
+        obs.on_recv_complete(
+            self.rank, self._token, env.src, env.tag, env.size, env.elements,
+        )
+        self._done = True
+
+    def test(self) -> bool:
+        """Non-blocking completion probe; finalizes on success."""
+        if self._functionally_complete():
+            self._finish()
+            return True
+        return False
+
+    def wait(self) -> Any:
+        """Block until complete; returns the received object (irecv)."""
+        return self.comm.wait(self)
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def value(self) -> Any:
+        """Payload delivered by a completed receive (None for sends)."""
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Request(rank={self.rank}, id={self.req_id}, kind={self.kind}, done={self._done})"

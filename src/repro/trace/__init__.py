@@ -1,0 +1,29 @@
+"""Trace model and formats (Dimemas-style records, ``.dim``, ``.prv``)."""
+
+from .records import (
+    AccessProfile,
+    CHANNEL_APP,
+    CHANNEL_CHUNK,
+    CHANNEL_COLLECTIVE,
+    CollOp,
+    CpuBurst,
+    Event,
+    GlobalOp,
+    IRecv,
+    ISend,
+    ProcessTrace,
+    Recv,
+    Record,
+    Send,
+    TraceSet,
+    Wait,
+)
+from .validate import ValidationError, ValidationReport, validate
+from . import dim, filters, prv
+
+__all__ = [
+    "AccessProfile", "CHANNEL_APP", "CHANNEL_CHUNK", "CHANNEL_COLLECTIVE",
+    "CollOp", "CpuBurst", "Event", "GlobalOp", "IRecv", "ISend",
+    "ProcessTrace", "Recv", "Record", "Send", "TraceSet", "Wait",
+    "ValidationError", "ValidationReport", "validate", "dim", "filters", "prv",
+]

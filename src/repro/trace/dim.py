@@ -1,0 +1,263 @@
+"""Dimemas-style text serialization of trace sets.
+
+The original framework stores traces in the Dimemas ``.dim`` text
+format.  We define a line-oriented dialect, ``DIMEMAS-REPRO:1``, that
+round-trips every field of :mod:`repro.trace.records`, including the
+per-element access profiles the overlap transformation needs (these are
+the framework's equivalent of the extra information the paper's
+Valgrind tool embeds in its traces).
+
+Grammar (one record per line, ``:``-separated fields)::
+
+    #DIMEMAS-REPRO:1
+    #META:<json object>                  (optional, once)
+    P:<rank>                             process header
+    B:<duration>:<instructions|->        cpu burst
+    S:<peer>:<tag>:<size>:<chan>:<sub>:<elems>:<ctx>:<rv>        blocking send
+    IS:<peer>:<tag>:<size>:<chan>:<sub>:<elems>:<ctx>:<req>:<rv> immediate send
+    R:<peer>:<tag>:<size>:<chan>:<sub>:<elems>:<ctx>             blocking recv
+    IR:<peer>:<tag>:<size>:<chan>:<sub>:<elems>:<ctx>:<req>      immediate recv
+    W:<req>[,<req>...]                   wait
+    G:<op>:<root>:<send>:<recv>:<seq>:<ctx>:<members>  collective (analytic form)
+    E:<name>:<value>                     user event
+    AP:<kind>:<istart>:<iend>:<n>:<b64>  access profile -> previous record
+
+``rv`` is ``0``/``1``/``-`` (force eager / force rendezvous / platform
+default).  ``AP`` lines attach to the immediately preceding S/IS (kind
+``production``) or R/IR (kind ``consumption``) record; the ``b64``
+payload is the little-endian float64 ``times`` array.
+"""
+
+from __future__ import annotations
+
+import base64
+import io
+import json
+from pathlib import Path
+from typing import TextIO
+
+import numpy as np
+
+from .records import (
+    AccessProfile,
+    CollOp,
+    CpuBurst,
+    Event,
+    GlobalOp,
+    IRecv,
+    ISend,
+    ProcessTrace,
+    Recv,
+    Record,
+    Send,
+    TraceSet,
+    Wait,
+)
+
+__all__ = ["dump", "dumps", "load", "loads", "TraceFormatError"]
+
+_MAGIC = "#DIMEMAS-REPRO:1"
+
+
+class TraceFormatError(ValueError):
+    """Raised when parsing an invalid or corrupt trace file."""
+
+
+def _fmt_rv(rv: bool | None) -> str:
+    return "-" if rv is None else ("1" if rv else "0")
+
+
+def _parse_rv(s: str) -> bool | None:
+    if s == "-":
+        return None
+    if s in ("0", "1"):
+        return s == "1"
+    raise TraceFormatError(f"invalid rendezvous flag {s!r}")
+
+
+def _profile_lines(profile: AccessProfile | None) -> list[str]:
+    if profile is None:
+        return []
+    payload = base64.b64encode(
+        np.ascontiguousarray(profile.times, dtype="<f8").tobytes()
+    ).decode("ascii")
+    return [
+        f"AP:{profile.kind}:{profile.interval_start!r}:{profile.interval_end!r}"
+        f":{profile.elements}:{payload}"
+    ]
+
+
+def _record_lines(rec: Record) -> list[str]:
+    if isinstance(rec, CpuBurst):
+        instr = "-" if rec.instructions is None else str(rec.instructions)
+        return [f"B:{rec.duration!r}:{instr}"]
+    if isinstance(rec, ISend):
+        return [
+            f"IS:{rec.peer}:{rec.tag}:{rec.size}:{rec.channel}:{rec.sub}"
+            f":{rec.elements}:{rec.context}:{rec.request}:{_fmt_rv(rec.rendezvous)}"
+        ] + _profile_lines(rec.production)
+    if isinstance(rec, Send):
+        return [
+            f"S:{rec.peer}:{rec.tag}:{rec.size}:{rec.channel}:{rec.sub}"
+            f":{rec.elements}:{rec.context}:{_fmt_rv(rec.rendezvous)}"
+        ] + _profile_lines(rec.production)
+    if isinstance(rec, IRecv):
+        return [
+            f"IR:{rec.peer}:{rec.tag}:{rec.size}:{rec.channel}:{rec.sub}"
+            f":{rec.elements}:{rec.context}:{rec.request}"
+        ] + _profile_lines(rec.consumption)
+    if isinstance(rec, Recv):
+        return [
+            f"R:{rec.peer}:{rec.tag}:{rec.size}:{rec.channel}:{rec.sub}"
+            f":{rec.elements}:{rec.context}"
+        ] + _profile_lines(rec.consumption)
+    if isinstance(rec, Wait):
+        return ["W:" + ",".join(str(r) for r in rec.requests)]
+    if isinstance(rec, GlobalOp):
+        return [f"G:{rec.op.value}:{rec.root}:{rec.send_size}:{rec.recv_size}:{rec.seq}:{rec.context}:{rec.members}"]
+    if isinstance(rec, Event):
+        return [f"E:{rec.name}:{rec.value}"]
+    raise TypeError(f"unsupported record type: {type(rec).__name__}")
+
+
+def dump(trace: TraceSet, fp: TextIO | str | Path) -> None:
+    """Serialize ``trace`` to a file path or text stream."""
+    if isinstance(fp, (str, Path)):
+        with open(fp, "w", encoding="ascii") as f:
+            dump(trace, f)
+        return
+    fp.write(_MAGIC + "\n")
+    if trace.meta:
+        fp.write("#META:" + json.dumps(trace.meta, sort_keys=True, default=str) + "\n")
+    for proc in trace:
+        fp.write(f"P:{proc.rank}\n")
+        for rec in proc:
+            for line in _record_lines(rec):
+                fp.write(line + "\n")
+
+
+def dumps(trace: TraceSet) -> str:
+    """Serialize ``trace`` to a string."""
+    buf = io.StringIO()
+    dump(trace, buf)
+    return buf.getvalue()
+
+
+def _parse_profile(parts: list[str]) -> AccessProfile:
+    if len(parts) != 5:
+        raise TraceFormatError(f"malformed AP line: expected 5 fields, got {len(parts)}")
+    kind, istart, iend, n, payload = parts
+    times = np.frombuffer(base64.b64decode(payload), dtype="<f8").astype(np.float64)
+    if times.shape[0] != int(n):
+        raise TraceFormatError(
+            f"AP element count mismatch: header says {n}, payload has {times.shape[0]}"
+        )
+    return AccessProfile(
+        kind=kind,
+        times=times,
+        interval_start=float(istart),
+        interval_end=float(iend),
+    )
+
+
+def load(fp: TextIO | str | Path) -> TraceSet:
+    """Parse a trace from a file path or text stream."""
+    if isinstance(fp, (str, Path)):
+        with open(fp, "r", encoding="ascii") as f:
+            return load(f)
+    return loads(fp.read())
+
+
+def loads(text: str) -> TraceSet:
+    """Parse a trace from a string."""
+    lines = text.splitlines()
+    if not lines or lines[0].strip() != _MAGIC:
+        raise TraceFormatError(f"missing magic header {_MAGIC!r}")
+    meta: dict = {}
+    processes: list[ProcessTrace] = []
+    current: ProcessTrace | None = None
+    last_record: Record | None = None
+
+    for lineno, raw in enumerate(lines[1:], start=2):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#META:"):
+            meta = json.loads(line[len("#META:"):])
+            continue
+        if line.startswith("#"):
+            continue
+        kind, _, rest = line.partition(":")
+        parts = rest.split(":") if rest else []
+        try:
+            if kind == "P":
+                current = ProcessTrace(int(parts[0]))
+                processes.append(current)
+                last_record = None
+                continue
+            if current is None:
+                raise TraceFormatError("record before first process header")
+            if kind == "AP":
+                profile = _parse_profile(parts)
+                if isinstance(last_record, (Send, ISend)) and profile.kind == "production":
+                    last_record.production = profile
+                elif isinstance(last_record, (Recv, IRecv)) and profile.kind == "consumption":
+                    last_record.consumption = profile
+                else:
+                    raise TraceFormatError(
+                        f"AP:{profile.kind} does not attach to "
+                        f"{type(last_record).__name__}"
+                    )
+                continue
+            rec: Record
+            if kind == "B":
+                instr = None if parts[1] == "-" else int(parts[1])
+                rec = CpuBurst(float(parts[0]), instructions=instr)
+            elif kind == "S":
+                rec = Send(
+                    peer=int(parts[0]), tag=int(parts[1]), size=int(parts[2]),
+                    channel=int(parts[3]), sub=int(parts[4]), elements=int(parts[5]),
+                    context=int(parts[6]), rendezvous=_parse_rv(parts[7]),
+                )
+            elif kind == "IS":
+                rec = ISend(
+                    peer=int(parts[0]), tag=int(parts[1]), size=int(parts[2]),
+                    channel=int(parts[3]), sub=int(parts[4]), elements=int(parts[5]),
+                    context=int(parts[6]), request=int(parts[7]),
+                    rendezvous=_parse_rv(parts[8]),
+                )
+            elif kind == "R":
+                rec = Recv(
+                    peer=int(parts[0]), tag=int(parts[1]), size=int(parts[2]),
+                    channel=int(parts[3]), sub=int(parts[4]), elements=int(parts[5]),
+                    context=int(parts[6]),
+                )
+            elif kind == "IR":
+                rec = IRecv(
+                    peer=int(parts[0]), tag=int(parts[1]), size=int(parts[2]),
+                    channel=int(parts[3]), sub=int(parts[4]), elements=int(parts[5]),
+                    context=int(parts[6]), request=int(parts[7]),
+                )
+            elif kind == "W":
+                rec = Wait(tuple(int(x) for x in parts[0].split(",")))
+            elif kind == "G":
+                rec = GlobalOp(
+                    op=CollOp(parts[0]), root=int(parts[1]),
+                    send_size=int(parts[2]), recv_size=int(parts[3]),
+                    seq=int(parts[4]), context=int(parts[5]),
+                    members=int(parts[6]),
+                )
+            elif kind == "E":
+                rec = Event(name=parts[0], value=int(parts[1]))
+            else:
+                raise TraceFormatError(f"unknown record kind {kind!r}")
+        except (IndexError, ValueError) as exc:
+            if isinstance(exc, TraceFormatError):
+                raise TraceFormatError(f"line {lineno}: {exc}") from None
+            raise TraceFormatError(f"line {lineno}: malformed {kind!r} record: {exc}") from exc
+        current.append(rec)
+        last_record = rec
+
+    if not processes:
+        raise TraceFormatError("trace contains no processes")
+    return TraceSet(processes, meta=meta)

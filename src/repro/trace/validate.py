@@ -1,0 +1,177 @@
+"""Structural validation of trace sets.
+
+The replay simulator assumes well-formed traces: every non-blocking
+request is waited exactly once, every send has a matching receive with
+an identical size on the same matching key, and collective records line
+up across ranks.  Malformed traces would deadlock (or worse, silently
+mis-match) during replay, so both the tracer and the overlap
+transformation validate their outputs in tests.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict, deque
+from dataclasses import dataclass, field
+
+from .records import (
+    CpuBurst,
+    Event,
+    GlobalOp,
+    IRecv,
+    ISend,
+    Recv,
+    Send,
+    TraceSet,
+    Wait,
+)
+
+__all__ = ["ValidationError", "ValidationReport", "validate"]
+
+
+class ValidationError(ValueError):
+    """Raised by :func:`validate` in strict mode when issues are found."""
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of trace validation.
+
+    ``issues`` is empty for a well-formed trace.  Each issue is a
+    human-readable string prefixed with ``rank=`` or ``global:``.
+    """
+
+    issues: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def add(self, msg: str) -> None:
+        self.issues.append(msg)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def _matching_key(rank_from: int, rank_to: int, rec) -> tuple:
+    return (rank_from, rank_to, rec.context, rec.channel, rec.tag, rec.sub)
+
+
+def validate(trace: TraceSet, strict: bool = False) -> ValidationReport:
+    """Validate a :class:`~repro.trace.records.TraceSet`.
+
+    Checks performed:
+
+    * request discipline per rank (unique ids; waits reference posted,
+      not-yet-waited requests; no dangling requests at process end);
+    * global point-to-point matching: for every key
+      ``(src, dst, channel, tag, sub)`` the send and receive sequences
+      have equal length and pairwise-equal sizes (FIFO matching,
+      mirroring both MPI ordering semantics and the replay matcher);
+    * collective alignment: every rank observes the same ordered
+      sequence of ``(op, root, seq)`` GlobalOp records;
+    * burst sanity: finite, non-negative durations.
+
+    With ``strict=True`` raises :class:`ValidationError` listing the
+    first issues instead of returning a failing report.
+    """
+    report = ValidationReport()
+
+    sends: dict[tuple, deque] = defaultdict(deque)
+    recvs: dict[tuple, deque] = defaultdict(deque)
+    collectives: list[list[tuple]] = []
+
+    for proc in trace:
+        posted: set[int] = set()
+        completed: set[int] = set()
+        coll_seq: list[tuple] = []
+        for i, rec in enumerate(proc):
+            where = f"rank={proc.rank} record={i}"
+            if isinstance(rec, CpuBurst):
+                if rec.duration < 0:
+                    report.add(f"{where}: negative burst duration {rec.duration}")
+            elif isinstance(rec, (Send, ISend)):
+                sends[_matching_key(proc.rank, rec.peer, rec)].append((where, rec.size))
+                if rec.peer >= trace.nranks:
+                    report.add(f"{where}: send to out-of-range rank {rec.peer}")
+                if isinstance(rec, ISend):
+                    if rec.request in posted or rec.request in completed:
+                        report.add(f"{where}: duplicate request id {rec.request}")
+                    posted.add(rec.request)
+            elif isinstance(rec, (Recv, IRecv)):
+                recvs[_matching_key(rec.peer, proc.rank, rec)].append((where, rec.size))
+                if rec.peer >= trace.nranks:
+                    report.add(f"{where}: recv from out-of-range rank {rec.peer}")
+                if isinstance(rec, IRecv):
+                    if rec.request in posted or rec.request in completed:
+                        report.add(f"{where}: duplicate request id {rec.request}")
+                    posted.add(rec.request)
+            elif isinstance(rec, Wait):
+                for req in rec.requests:
+                    if req in completed:
+                        report.add(f"{where}: request {req} waited twice")
+                    elif req not in posted:
+                        report.add(f"{where}: wait on unknown request {req}")
+                    else:
+                        posted.discard(req)
+                        completed.add(req)
+            elif isinstance(rec, GlobalOp):
+                coll_seq.append((rec.context, rec.op, rec.root, rec.seq, rec.members))
+            elif isinstance(rec, Event):
+                pass
+            else:  # pragma: no cover - defensive
+                report.add(f"{where}: unknown record type {type(rec).__name__}")
+        if posted:
+            report.add(
+                f"rank={proc.rank}: {len(posted)} request(s) never waited: "
+                f"{sorted(posted)[:8]}"
+            )
+        collectives.append(coll_seq)
+
+    # Point-to-point matching.
+    for key in sorted(set(sends) | set(recvs)):
+        s, r = sends.get(key, deque()), recvs.get(key, deque())
+        if len(s) != len(r):
+            report.add(
+                f"global: key {key}: {len(s)} send(s) vs {len(r)} recv(s)"
+            )
+        for (swhere, ssize), (rwhere, rsize) in zip(s, r):
+            if ssize != rsize:
+                report.add(
+                    f"global: size mismatch on key {key}: "
+                    f"{swhere} sends {ssize} bytes, {rwhere} expects {rsize}"
+                )
+
+    # Collective alignment, per communicator context: every rank that
+    # participates in a context must observe the same ordered sequence
+    # of operations, and the participant count must match ``members``
+    # when it is recorded (0 = the whole world).
+    per_context: dict[int, dict[int, list]] = defaultdict(dict)
+    for rank, seq in enumerate(collectives):
+        for ctx, op, root, sq, members in seq:
+            per_context[ctx].setdefault(rank, []).append((op, root, sq, members))
+    for ctx, by_rank in sorted(per_context.items()):
+        participants = sorted(by_rank)
+        ref_rank = participants[0]
+        ref = by_rank[ref_rank]
+        for rank in participants[1:]:
+            if by_rank[rank] != ref:
+                report.add(
+                    f"global: context {ctx}: collective sequence of rank "
+                    f"{rank} differs from rank {ref_rank}"
+                )
+        declared = {m for ops in by_rank.values() for (_, _, _, m) in ops}
+        for m in declared:
+            expected = m if m > 0 else trace.nranks
+            if len(participants) != expected:
+                report.add(
+                    f"global: context {ctx}: {len(participants)} "
+                    f"participant(s) but collectives declare {expected}"
+                )
+
+    if strict and not report.ok:
+        raise ValidationError(
+            f"trace validation failed with {len(report.issues)} issue(s):\n"
+            + "\n".join(report.issues[:20])
+        )
+    return report

@@ -1,0 +1,16 @@
+"""Instrumentation layer — the framework's Valgrind-tool substitute.
+
+Wraps every MPI call and observes every (virtual) load/store on
+communication buffers, producing Dimemas traces enriched with
+per-element production/consumption profiles.
+"""
+
+from .interceptor import TracingObserver
+from .memory import BufferState, MemoryTracker
+from .tracefile import TraceRun, run_traced
+from .timestamps import DEFAULT_MIPS, Clock
+
+__all__ = [
+    "BufferState", "Clock", "DEFAULT_MIPS", "MemoryTracker",
+    "TraceRun", "TracingObserver", "run_traced",
+]

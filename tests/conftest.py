@@ -1,0 +1,57 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dimemas.machine import MachineConfig
+from repro.tracer.tracefile import run_traced
+
+
+def make_pipeline_app(elements=64, work=100_000, iterations=3,
+                      prod=None, cons=None):
+    """A minimal 1-D pipeline rank function with controllable patterns."""
+    from repro.apps.patterns import consumption_batches, production_batches
+
+    prod = prod or [(0.0, 0.2), (1.0, 1.0)]
+    cons = cons or [(0.0, 0.0), (1.0, 0.5)]
+
+    def app(comm):
+        r, s = comm.rank, comm.size
+        out = np.zeros(elements)
+        inbox = np.zeros(elements)
+        pb = production_batches(elements, prod)
+        cb = consumption_batches(elements, cons)
+        loads = []
+        for it in range(iterations):
+            comm.event("iteration", it)
+            if r > 0:
+                comm.Recv(inbox, r - 1, tag=0)
+                loads = [(inbox, o, a) for o, a in cb]
+            stores = [(out, o, a) for o, a in pb] if r < s - 1 else []
+            comm.compute(work, loads=loads, stores=stores)
+            loads = []
+            if r < s - 1:
+                comm.send(out, r + 1, tag=0)
+        return r
+
+    return app
+
+
+@pytest.fixture
+def pipeline_trace():
+    """Original trace of a small 4-rank pipeline with access profiles."""
+    return run_traced(make_pipeline_app(), 4, mips=1000.0).trace
+
+
+@pytest.fixture
+def machine():
+    """A small deterministic platform for replay tests."""
+    return MachineConfig(bandwidth_mbps=100.0, latency=10e-6, buses=4)
+
+
+@pytest.fixture
+def paper_machine():
+    """The paper's baseline platform (unlimited buses)."""
+    return MachineConfig.paper_testbed()

@@ -1,0 +1,131 @@
+"""CLI entry point tests (run in-process with argv lists)."""
+
+import pytest
+
+from repro.cli import main_overlap, main_simulate, main_trace
+from repro.trace import dim
+
+
+@pytest.fixture
+def traced_file(tmp_path):
+    path = tmp_path / "cg.dim"
+    rc = main_trace(["cg", "-n", "4", "-o", str(path)])
+    assert rc == 0
+    return path
+
+
+class TestTraceCommand:
+    def test_writes_parseable_trace(self, traced_file):
+        ts = dim.load(traced_file)
+        assert ts.nranks == 4
+        assert ts.meta["app"] == "cg"
+
+    def test_unknown_app_rejected(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main_trace(["linpack", "-o", str(tmp_path / "x.dim")])
+
+    def test_streams_flag(self, tmp_path):
+        path = tmp_path / "s.dim"
+        assert main_trace(["alya", "-n", "2", "-o", str(path),
+                           "--streams"]) == 0
+        assert path.exists()
+
+    def test_custom_mips_recorded(self, tmp_path):
+        path = tmp_path / "m.dim"
+        main_trace(["alya", "-n", "2", "-o", str(path), "--mips", "1000"])
+        assert dim.load(path).meta["mips"] == 1000.0
+
+
+class TestOverlapCommand:
+    def test_real_transform(self, traced_file, tmp_path, capsys):
+        out = tmp_path / "ov.dim"
+        assert main_overlap([str(traced_file), "-o", str(out)]) == 0
+        assert "transformed" in capsys.readouterr().out
+        ts = dim.load(out)
+        assert ts.meta["overlap"]["schedule"] == "real"
+
+    def test_ideal_transform(self, traced_file, tmp_path):
+        out = tmp_path / "id.dim"
+        main_overlap([str(traced_file), "-o", str(out), "--ideal",
+                      "--chunks", "2"])
+        meta = dim.load(out).meta["overlap"]
+        assert meta["schedule"] == "ideal" and meta["chunks"] == 2
+
+    def test_no_double_buffering_flag(self, traced_file, tmp_path):
+        out = tmp_path / "sb.dim"
+        main_overlap([str(traced_file), "-o", str(out),
+                      "--no-double-buffering"])
+        assert dim.load(out).meta["overlap"]["double_buffering"] is False
+
+
+class TestSimulateCommand:
+    def test_reports_makespan(self, traced_file, capsys):
+        assert main_simulate([str(traced_file), "--buses", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out and "parallel efficiency" in out
+
+    def test_gantt_and_profile(self, traced_file, capsys):
+        main_simulate([str(traced_file), "--gantt", "--profile",
+                       "--width", "40"])
+        out = capsys.readouterr().out
+        assert "rank   0 |" in out and "Running" in out
+
+    def test_prv_and_svg_export(self, traced_file, tmp_path, capsys):
+        prv_path = tmp_path / "out.prv"
+        svg_path = tmp_path / "out.svg"
+        main_simulate([str(traced_file), "--prv", str(prv_path),
+                       "--svg", str(svg_path)])
+        assert prv_path.read_text().startswith("#Paraver")
+        assert (tmp_path / "out.pcf").exists()
+        assert svg_path.read_text().startswith("<svg")
+
+    def test_bandwidth_changes_result(self, traced_file, capsys):
+        main_simulate([str(traced_file), "--bandwidth", "10"])
+        slow = capsys.readouterr().out
+        main_simulate([str(traced_file), "--bandwidth", "10000"])
+        fast = capsys.readouterr().out
+        def makespan(s):
+            return float(s.split("makespan ")[1].split(" us")[0])
+        assert makespan(slow) > makespan(fast)
+
+
+class TestEndToEndCli:
+    def test_trace_overlap_simulate_chain(self, traced_file, tmp_path, capsys):
+        ov = tmp_path / "ov.dim"
+        main_overlap([str(traced_file), "-o", str(ov)])
+        main_simulate([str(traced_file), "--buses", "6"])
+        orig = capsys.readouterr().out
+        main_simulate([str(ov), "--buses", "6"])
+        over = capsys.readouterr().out
+        def makespan(s):
+            return float(s.split("makespan ")[1].split(" us")[0])
+        assert makespan(over) <= makespan(orig) * 1.1
+
+
+class TestAnalyzeCommand:
+    def test_patterns_and_stats(self, traced_file, capsys):
+        from repro.cli import main_analyze
+        assert main_analyze([str(traced_file)]) == 0
+        out = capsys.readouterr().out
+        assert "production pattern" in out
+        assert "phase potential" in out
+        assert "channel 0" in out
+
+    def test_simulate_adds_profile_and_critical_path(self, traced_file, capsys):
+        from repro.cli import main_analyze
+        main_analyze([str(traced_file), "--simulate", "--buses", "6"])
+        out = capsys.readouterr().out
+        assert "critical path" in out and "Running" in out
+
+    def test_channel_filter(self, traced_file, capsys):
+        from repro.cli import main_analyze
+        main_analyze([str(traced_file), "--channel", "1"])
+        out = capsys.readouterr().out
+        assert "production pattern" in out
+
+    def test_json_export(self, traced_file, tmp_path, capsys):
+        import json
+        path = tmp_path / "out.json"
+        main_simulate([str(traced_file), "--json", str(path)])
+        parsed = json.loads(path.read_text())
+        assert parsed["nranks"] == 4 and parsed["duration"] > 0

@@ -1,0 +1,117 @@
+"""Tests of chunk geometry and chunk-time reductions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chunking import (
+    DEFAULT_CHUNKS,
+    chunk_needed_times,
+    chunk_ready_times,
+    plan_chunks,
+)
+from repro.trace.records import AccessProfile
+
+
+class TestPlanChunks:
+    def test_paper_default_is_four(self):
+        assert DEFAULT_CHUNKS == 4
+
+    def test_even_split(self):
+        plan = plan_chunks(size=800, elements=100, chunks=4)
+        assert plan.nchunks == 4
+        assert plan.bounds.tolist() == [0, 25, 50, 75, 100]
+        assert plan.sizes.tolist() == [200, 200, 200, 200]
+
+    def test_sizes_sum_exactly_with_remainders(self):
+        plan = plan_chunks(size=1003, elements=10, chunks=3)
+        assert int(plan.sizes.sum()) == 1003
+
+    def test_single_element_message_is_one_chunk(self):
+        plan = plan_chunks(size=8, elements=1, chunks=4)
+        assert plan.nchunks == 1 and plan.sizes.tolist() == [8]
+
+    def test_cannot_chunk_finer_than_bytes(self):
+        plan = plan_chunks(size=2, elements=100, chunks=4)
+        assert plan.nchunks == 2
+
+    def test_span(self):
+        plan = plan_chunks(size=64, elements=8, chunks=4)
+        assert plan.span(0) == (0, 2) and plan.span(3) == (6, 8)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            plan_chunks(-1, 10)
+        with pytest.raises(ValueError):
+            plan_chunks(10, 10, chunks=0)
+
+    @given(size=st.integers(0, 10_000), elements=st.integers(0, 5_000),
+           chunks=st.integers(1, 32))
+    @settings(max_examples=200, deadline=None)
+    def test_property_invariants(self, size, elements, chunks):
+        plan = plan_chunks(size, elements, chunks)
+        assert 1 <= plan.nchunks <= chunks
+        assert int(plan.sizes.sum()) == size
+        assert (plan.sizes >= 0).all()
+        bounds = plan.bounds
+        assert bounds[0] == 0 and bounds[-1] == max(elements, 1)
+        assert (np.diff(bounds) >= 0).all()
+
+
+def prod_profile(times, lo=0.0, hi=1.0):
+    return AccessProfile("production", np.asarray(times, float), lo, hi)
+
+
+def cons_profile(times, lo=0.0, hi=1.0):
+    return AccessProfile("consumption", np.asarray(times, float), lo, hi)
+
+
+class TestChunkTimes:
+    def test_ready_is_per_chunk_max(self):
+        p = prod_profile([0.1, 0.9, 0.2, 0.3])
+        plan = plan_chunks(32, 4, 2)
+        ready = chunk_ready_times(p, plan)
+        assert ready.tolist() == [0.9, 0.3]
+
+    def test_needed_is_per_chunk_min(self):
+        p = cons_profile([0.5, 0.2, 0.9, 0.4])
+        plan = plan_chunks(32, 4, 2)
+        needed = chunk_needed_times(p, plan)
+        assert needed.tolist() == [0.2, 0.4]
+
+    def test_nan_chunks_stay_nan(self):
+        p = prod_profile([np.nan, np.nan, 0.5, 0.5])
+        plan = plan_chunks(32, 4, 2)
+        ready = chunk_ready_times(p, plan)
+        assert np.isnan(ready[0]) and ready[1] == 0.5
+
+    def test_times_clipped_to_interval(self):
+        p = prod_profile([5.0, -1.0], lo=0.0, hi=1.0)
+        plan = plan_chunks(16, 2, 2)
+        assert chunk_ready_times(p, plan).tolist() == [1.0, 0.0]
+
+    def test_kind_mismatch_rejected(self):
+        plan = plan_chunks(16, 2, 2)
+        with pytest.raises(ValueError):
+            chunk_ready_times(cons_profile([0, 0]), plan)
+        with pytest.raises(ValueError):
+            chunk_needed_times(prod_profile([0, 0]), plan)
+
+    def test_element_count_mismatch_rejected(self):
+        plan = plan_chunks(16, 2, 2)
+        with pytest.raises(ValueError):
+            chunk_ready_times(prod_profile([0.1, 0.2, 0.3]), plan)
+
+    @given(n=st.integers(1, 200), chunks=st.integers(1, 8),
+           seed=st.integers(0, 999))
+    @settings(max_examples=100, deadline=None)
+    def test_property_monotone_under_prefix_order(self, n, chunks, seed):
+        """With element times sorted ascending, ready times are
+        non-decreasing across chunks (the ideal-producer property)."""
+        rng = np.random.default_rng(seed)
+        times = np.sort(rng.uniform(0, 1, n))
+        plan = plan_chunks(n * 8, n, chunks)
+        ready = chunk_ready_times(prod_profile(times), plan)
+        valid = ready[~np.isnan(ready)]
+        assert (np.diff(valid) >= -1e-12).all()

@@ -1,0 +1,96 @@
+"""Tests of static message matching and comparison metrics."""
+
+import math
+
+import pytest
+
+from repro.core.matching import MessagePair, UnmatchedMessageError, match_messages
+from repro.core.metrics import Comparison, improvement_percent, speedup
+from repro.trace.records import (
+    CpuBurst,
+    IRecv,
+    ISend,
+    ProcessTrace,
+    Recv,
+    Send,
+    TraceSet,
+    Wait,
+)
+
+
+def two_rank(recs0, recs1) -> TraceSet:
+    return TraceSet([ProcessTrace(0, recs0), ProcessTrace(1, recs1)])
+
+
+class TestMatching:
+    def test_simple_pair(self):
+        ts = two_rank([Send(peer=1, tag=3, size=8)], [Recv(peer=0, tag=3, size=8)])
+        pairs = match_messages(ts)
+        assert pairs == [MessagePair(src=0, send_index=0, dst=1, recv_index=0,
+                                     size=8, channel=0, tag=3, sub=0)]
+
+    def test_fifo_order_on_same_key(self):
+        ts = two_rank(
+            [Send(peer=1, tag=0, size=8), Send(peer=1, tag=0, size=16)],
+            [Recv(peer=0, tag=0, size=8), Recv(peer=0, tag=0, size=16)],
+        )
+        p = match_messages(ts)
+        assert [(x.send_index, x.recv_index, x.size) for x in p] == [
+            (0, 0, 8), (1, 1, 16)]
+
+    def test_nonblocking_records_match(self):
+        ts = two_rank(
+            [ISend(peer=1, tag=0, size=8, request=1), Wait((1,))],
+            [IRecv(peer=0, tag=0, size=8, request=2), Wait((2,))],
+        )
+        assert len(match_messages(ts)) == 1
+
+    def test_interleaved_keys(self):
+        ts = two_rank(
+            [Send(peer=1, tag=1, size=8), Send(peer=1, tag=2, size=24)],
+            [Recv(peer=0, tag=2, size=24), Recv(peer=0, tag=1, size=8)],
+        )
+        pairs = {(p.tag, p.recv_index) for p in match_messages(ts)}
+        assert pairs == {(1, 1), (2, 0)}
+
+    def test_unmatched_raises_in_strict(self):
+        ts = two_rank([Send(peer=1, tag=0, size=8)], [])
+        with pytest.raises(UnmatchedMessageError):
+            match_messages(ts)
+
+    def test_unmatched_dropped_when_lenient(self):
+        ts = two_rank([Send(peer=1, tag=0, size=8)], [])
+        assert match_messages(ts, strict=False) == []
+
+    def test_self_messages(self):
+        ts = TraceSet([ProcessTrace(0, [
+            Send(peer=0, tag=0, size=8), Recv(peer=0, tag=0, size=8)])])
+        pairs = match_messages(ts)
+        assert pairs[0].src == pairs[0].dst == 0
+
+    def test_ordering_of_result(self, pipeline_trace):
+        pairs = match_messages(pipeline_trace)
+        keys = [(p.src, p.send_index) for p in pairs]
+        assert keys == sorted(keys)
+
+
+class TestMetrics:
+    def test_speedup(self):
+        assert speedup(2.0, 1.0) == 2.0
+
+    def test_speedup_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+    def test_improvement_percent(self):
+        assert improvement_percent(2.0, 1.5) == pytest.approx(25.0)
+
+    def test_comparison(self):
+        c = Comparison(t_original=1.0, t_overlapped=0.92)
+        assert c.speedup == pytest.approx(1.0 / 0.92)
+        assert c.improvement_percent == pytest.approx(8.0)
+        assert c.wins
+        assert "speedup" in str(c)
+
+    def test_comparison_loss(self):
+        assert not Comparison(1.0, 1.1).wins

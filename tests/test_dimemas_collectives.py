@@ -1,0 +1,58 @@
+"""Unit tests of the analytic collective cost model."""
+
+import math
+
+import pytest
+
+from repro.dimemas.collectives import collective_cost, collective_steps
+from repro.dimemas.machine import MachineConfig
+from repro.trace.records import CollOp, GlobalOp
+
+CFG = MachineConfig(bandwidth_mbps=100.0, latency=10e-6)
+
+
+class TestSteps:
+    def test_single_rank_is_free(self):
+        for op in CollOp:
+            assert collective_steps(op, 1) == 0.0
+
+    @pytest.mark.parametrize("op,p,expect", [
+        (CollOp.BARRIER, 2, 2), (CollOp.BARRIER, 8, 6),
+        (CollOp.BCAST, 8, 3), (CollOp.REDUCE, 16, 4),
+        (CollOp.ALLREDUCE, 8, 6),
+        (CollOp.GATHER, 8, 7), (CollOp.SCATTER, 5, 4),
+        (CollOp.ALLGATHER, 8, 10), (CollOp.REDUCE_SCATTER, 8, 10),
+        (CollOp.ALLTOALL, 8, 7),
+    ])
+    def test_step_formulas(self, op, p, expect):
+        assert collective_steps(op, p) == expect
+
+    def test_non_power_of_two_rounds_up(self):
+        assert collective_steps(CollOp.BCAST, 5) == 3  # ceil(log2 5)
+
+    def test_steps_grow_with_ranks(self):
+        for op in CollOp:
+            assert collective_steps(op, 64) >= collective_steps(op, 4)
+
+
+class TestCost:
+    def test_linear_in_steps_and_size(self):
+        rec = GlobalOp(op=CollOp.BCAST, send_size=1000, recv_size=1000)
+        # 3 steps * (10us latency + 10us wire)
+        assert collective_cost(rec, 8, CFG) == pytest.approx(60e-6)
+
+    def test_uses_max_of_send_recv(self):
+        a = GlobalOp(op=CollOp.REDUCE, send_size=2000, recv_size=0)
+        b = GlobalOp(op=CollOp.REDUCE, send_size=0, recv_size=2000)
+        assert collective_cost(a, 4, CFG) == collective_cost(b, 4, CFG)
+
+    def test_model_factor_scales(self):
+        from dataclasses import replace
+        rec = GlobalOp(op=CollOp.BARRIER)
+        doubled = replace(CFG, collective_model_factor=2.0)
+        assert collective_cost(rec, 8, doubled) == pytest.approx(
+            2 * collective_cost(rec, 8, CFG))
+
+    def test_zero_size_costs_only_latency_terms(self):
+        rec = GlobalOp(op=CollOp.BARRIER)
+        assert collective_cost(rec, 2, CFG) == pytest.approx(2 * 10e-6)

@@ -1,0 +1,101 @@
+"""Tests of the multi-core SMP node model."""
+
+import pytest
+
+from repro.dimemas.machine import MachineConfig
+from repro.dimemas.replay import simulate
+from repro.trace.records import CpuBurst, ProcessTrace, Recv, Send, TraceSet
+
+US = 1e-6
+
+
+def ts(*rank_records) -> TraceSet:
+    return TraceSet([ProcessTrace(r, list(recs))
+                     for r, recs in enumerate(rank_records)])
+
+
+def pair_trace():
+    return ts(
+        [Send(peer=1, tag=0, size=1000)],
+        [Recv(peer=0, tag=0, size=1000)],
+    )
+
+
+class TestNodeMapping:
+    def test_node_of(self):
+        cfg = MachineConfig(cores_per_node=4)
+        assert cfg.node_of(0) == 0 and cfg.node_of(3) == 0
+        assert cfg.node_of(4) == 1
+
+    def test_same_node(self):
+        cfg = MachineConfig(cores_per_node=2)
+        assert cfg.same_node(0, 1)
+        assert not cfg.same_node(1, 2)
+
+    def test_default_is_one_process_per_node(self):
+        cfg = MachineConfig()
+        assert not cfg.same_node(0, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineConfig(cores_per_node=0)
+        with pytest.raises(ValueError):
+            MachineConfig(intra_latency=-1.0)
+        with pytest.raises(ValueError):
+            MachineConfig(intra_bandwidth_mbps=0.0)
+
+    def test_default_intra_bandwidth_is_4x(self):
+        cfg = MachineConfig(bandwidth_mbps=100.0)
+        assert cfg.intra_bandwidth == pytest.approx(4 * 100e6)
+
+    def test_explicit_intra_bandwidth(self):
+        cfg = MachineConfig(intra_bandwidth_mbps=1000.0)
+        assert cfg.intra_bandwidth == pytest.approx(1e9)
+
+
+class TestIntraNodeTiming:
+    def test_shared_memory_transfer_faster(self):
+        inter = MachineConfig(bandwidth_mbps=100.0, latency=10e-6)
+        intra = MachineConfig(bandwidth_mbps=100.0, latency=10e-6,
+                              cores_per_node=2, intra_latency=1e-6)
+        d_inter = simulate(pair_trace(), inter).duration
+        d_intra = simulate(pair_trace(), intra).duration
+        # inter: 10 wire + 10 lat = 20us; intra: 2.5 copy + 1 lat = 3.5us
+        assert d_inter == pytest.approx(20 * US)
+        assert d_intra == pytest.approx(3.5 * US)
+
+    def test_intra_node_bypasses_buses(self):
+        """Two same-node pairs proceed in parallel even with one bus."""
+        cfg = MachineConfig(bandwidth_mbps=100.0, latency=10e-6,
+                            cores_per_node=2, buses=1, intra_latency=0.0)
+        four = ts(
+            [Send(peer=1, tag=0, size=4000)],
+            [Recv(peer=0, tag=0, size=4000)],
+            [Send(peer=3, tag=0, size=4000)],
+            [Recv(peer=2, tag=0, size=4000)],
+        )
+        res = simulate(four, cfg)
+        # both copies take 10us (400MB/s), concurrently
+        assert res.duration == pytest.approx(10 * US)
+
+    def test_cross_node_still_uses_network(self):
+        cfg = MachineConfig(bandwidth_mbps=100.0, latency=10e-6,
+                            cores_per_node=2)
+        cross = ts(
+            [Send(peer=2, tag=0, size=1000)],
+            [],
+            [Recv(peer=0, tag=0, size=1000)],
+        )
+        res = simulate(cross, cfg)
+        assert res.duration == pytest.approx(20 * US)
+
+    def test_smp_speeds_up_neighbor_heavy_app(self):
+        """Packing a pipeline onto SMP nodes removes most network trips."""
+        from tests.conftest import make_pipeline_app
+        from repro.tracer import run_traced
+        tr = run_traced(make_pipeline_app(elements=2048, work=50_000), 8,
+                        mips=1000.0).trace
+        flat = MachineConfig(bandwidth_mbps=50.0, latency=20e-6)
+        smp = MachineConfig(bandwidth_mbps=50.0, latency=20e-6,
+                            cores_per_node=4, intra_latency=1e-6)
+        assert simulate(tr, smp).duration < simulate(tr, flat).duration

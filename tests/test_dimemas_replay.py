@@ -1,0 +1,192 @@
+"""Replay semantics: hand-computed reconstruction timings."""
+
+import pytest
+
+from repro.dimemas.machine import MachineConfig
+from repro.dimemas.replay import ReplayError, simulate
+from repro.trace.records import (
+    CollOp,
+    CpuBurst,
+    Event,
+    GlobalOp,
+    IRecv,
+    ISend,
+    ProcessTrace,
+    Recv,
+    Send,
+    TraceSet,
+    Wait,
+)
+
+#: 100 MB/s, 10 us latency: 1000 bytes = 10 us wire + 10 us latency.
+CFG = MachineConfig(bandwidth_mbps=100.0, latency=10e-6)
+US = 1e-6
+
+
+def ts(*rank_records) -> TraceSet:
+    return TraceSet([ProcessTrace(r, list(recs))
+                     for r, recs in enumerate(rank_records)])
+
+
+class TestElementaryTiming:
+    def test_pure_compute(self):
+        res = simulate(ts([CpuBurst(100 * US)]), CFG)
+        assert res.duration == pytest.approx(100 * US)
+        assert res.states[0] == [("Running", 0.0, pytest.approx(100 * US))]
+
+    def test_cpu_ratio_scales_bursts(self):
+        cfg = MachineConfig(cpu_ratio=2.0)
+        res = simulate(ts([CpuBurst(100 * US)]), cfg)
+        assert res.duration == pytest.approx(200 * US)
+
+    def test_eager_send_costs_sender_nothing(self):
+        res = simulate(ts(
+            [CpuBurst(100 * US), Send(peer=1, tag=0, size=1000)],
+            [Recv(peer=0, tag=0, size=1000)],
+        ), CFG)
+        assert res.rank_end[0] == pytest.approx(100 * US)
+        # receiver: send at 100, +10 wire, +10 latency
+        assert res.rank_end[1] == pytest.approx(120 * US)
+        assert res.time_in_state("Waiting a message", 1) == pytest.approx(120 * US)
+
+    def test_rendezvous_send_blocks_until_delivery(self):
+        res = simulate(ts(
+            [CpuBurst(100 * US), Send(peer=1, tag=0, size=1000, rendezvous=True)],
+            [Recv(peer=0, tag=0, size=1000)],
+        ), CFG)
+        assert res.rank_end[0] == pytest.approx(120 * US)
+        assert res.time_in_state("Send", 0) == pytest.approx(20 * US)
+
+    def test_rendezvous_waits_for_late_receiver(self):
+        res = simulate(ts(
+            [Send(peer=1, tag=0, size=1000, rendezvous=True)],
+            [CpuBurst(500 * US), Recv(peer=0, tag=0, size=1000)],
+        ), CFG)
+        # transfer starts when the recv is posted at 500
+        assert res.rank_end[0] == pytest.approx(520 * US)
+        assert res.rank_end[1] == pytest.approx(520 * US)
+
+    def test_eager_threshold_selects_protocol(self):
+        cfg = MachineConfig(bandwidth_mbps=100.0, latency=10e-6,
+                            eager_threshold=500)
+        res = simulate(ts(
+            [Send(peer=1, tag=0, size=1000)],     # > threshold: rendezvous
+            [CpuBurst(300 * US), Recv(peer=0, tag=0, size=1000)],
+        ), cfg)
+        assert res.rank_end[0] == pytest.approx(320 * US)
+
+    def test_message_already_arrived_costs_nothing(self):
+        res = simulate(ts(
+            [Send(peer=1, tag=0, size=1000)],
+            [CpuBurst(500 * US), Recv(peer=0, tag=0, size=1000)],
+        ), CFG)
+        assert res.rank_end[1] == pytest.approx(500 * US)
+        assert res.time_in_state("Waiting a message", 1) == 0.0
+
+    def test_isend_wait_is_buffered(self):
+        res = simulate(ts(
+            [ISend(peer=1, tag=0, size=1000, request=1), Wait((1,)),
+             CpuBurst(5 * US)],
+            [Recv(peer=0, tag=0, size=1000)],
+        ), CFG)
+        assert res.rank_end[0] == pytest.approx(5 * US)
+
+    def test_irecv_wait_blocks_until_arrival(self):
+        res = simulate(ts(
+            [CpuBurst(100 * US), Send(peer=1, tag=0, size=1000)],
+            [IRecv(peer=0, tag=0, size=1000, request=1), CpuBurst(50 * US),
+             Wait((1,))],
+        ), CFG)
+        assert res.rank_end[1] == pytest.approx(120 * US)
+        assert res.time_in_state("Wait/WaitAll", 1) == pytest.approx(70 * US)
+
+    def test_waitall_completes_at_last_arrival(self):
+        res = simulate(ts(
+            [CpuBurst(100 * US), Send(peer=2, tag=0, size=1000)],
+            [CpuBurst(300 * US), Send(peer=2, tag=0, size=1000)],
+            [IRecv(peer=0, tag=0, size=1000, request=1),
+             IRecv(peer=1, tag=0, size=1000, request=2),
+             Wait((1, 2))],
+        ), CFG)
+        assert res.rank_end[2] == pytest.approx(320 * US)
+
+    def test_events_timestamped(self):
+        res = simulate(ts([CpuBurst(10 * US), Event("mark", 7)]), CFG)
+        assert res.events[0] == [(pytest.approx(10 * US), "mark", 7)]
+
+
+class TestPipelines:
+    def test_three_stage_pipeline_fill(self):
+        """Each hop adds wire+latency; compute overlaps downstream."""
+        chain = ts(
+            [CpuBurst(100 * US), Send(peer=1, tag=0, size=1000)],
+            [Recv(peer=0, tag=0, size=1000), CpuBurst(100 * US),
+             Send(peer=2, tag=0, size=1000)],
+            [Recv(peer=1, tag=0, size=1000), CpuBurst(100 * US)],
+        )
+        res = simulate(chain, CFG)
+        # 100 + 20 + 100 + 20 + 100
+        assert res.duration == pytest.approx(340 * US)
+
+    def test_messages_reported(self):
+        res = simulate(ts(
+            [Send(peer=1, tag=5, size=1000)],
+            [Recv(peer=0, tag=5, size=1000)],
+        ), CFG)
+        (m,) = res.messages
+        assert (m.src, m.dst, m.tag, m.size) == (0, 1, 5, 1000)
+        assert m.t_recv == pytest.approx(20 * US)
+        assert m.flight_time == pytest.approx(20 * US)
+        assert m.queue_delay == 0.0
+
+
+class TestCollectivesAnalytic:
+    def test_barrier_synchronizes(self):
+        res = simulate(ts(
+            [CpuBurst(100 * US), GlobalOp(op=CollOp.BARRIER, seq=1)],
+            [CpuBurst(300 * US), GlobalOp(op=CollOp.BARRIER, seq=1)],
+        ), CFG)
+        # cost = 2 * log2(2) * latency = 20 us after the slowest entry
+        assert res.rank_end[0] == pytest.approx(320 * US)
+        assert res.rank_end[1] == pytest.approx(320 * US)
+        assert res.time_in_state("Group communication", 0) == pytest.approx(220 * US)
+
+    def test_allreduce_cost_scales_with_size(self):
+        g = lambda: GlobalOp(op=CollOp.ALLREDUCE, send_size=1000,
+                             recv_size=1000, seq=1)
+        res = simulate(ts([g()], [g()]), CFG)
+        # 2 * log2(2) * (10 us + 10 us) = 40 us
+        assert res.duration == pytest.approx(40 * US)
+
+    def test_single_rank_collective_free(self):
+        res = simulate(ts([GlobalOp(op=CollOp.BCAST, seq=1)]), CFG)
+        assert res.duration == pytest.approx(0.0)
+
+
+class TestStallDetection:
+    def test_rendezvous_cycle_detected(self):
+        cyc = ts(
+            [Send(peer=1, tag=0, size=1000, rendezvous=True),
+             Recv(peer=1, tag=0, size=1000)],
+            [Send(peer=0, tag=0, size=1000, rendezvous=True),
+             Recv(peer=0, tag=0, size=1000)],
+        )
+        with pytest.raises(ReplayError, match="stalled"):
+            simulate(cyc, CFG)
+
+    def test_missing_collective_partner_detected(self):
+        bad = ts(
+            [GlobalOp(op=CollOp.BARRIER, seq=1)],
+            [CpuBurst(1 * US)],
+        )
+        with pytest.raises(ReplayError):
+            simulate(bad, CFG)
+
+
+class TestDeterminism:
+    def test_replay_is_reproducible(self, pipeline_trace, machine):
+        a = simulate(pipeline_trace, machine)
+        b = simulate(pipeline_trace, machine)
+        assert a.duration == b.duration
+        assert a.states == b.states
+        assert a.messages == b.messages

@@ -1,0 +1,104 @@
+"""Tests of the SimResult timeline container."""
+
+import pytest
+
+from repro.dimemas.results import MessageFlight, SimResult
+
+
+def make_result() -> SimResult:
+    return SimResult(
+        nranks=2,
+        duration=10.0,
+        rank_end=[10.0, 8.0],
+        states=[
+            [("Running", 0.0, 6.0), ("Send", 6.0, 10.0)],
+            [("Waiting a message", 0.0, 2.0), ("Running", 2.0, 8.0)],
+        ],
+        messages=[
+            MessageFlight(src=0, dst=1, t_send=1.0, t_start=1.5,
+                          t_recv=2.0, size=100, tag=3),
+        ],
+        events=[[(0.5, "iteration", 0), (5.0, "iteration", 1)], []],
+    )
+
+
+class TestStateAccounting:
+    def test_time_in_state_single_rank(self):
+        r = make_result()
+        assert r.time_in_state("Running", 0) == 6.0
+        assert r.time_in_state("Running", 1) == 6.0
+
+    def test_time_in_state_all_ranks(self):
+        assert make_result().time_in_state("Running") == 12.0
+
+    def test_state_summary(self):
+        s = make_result().state_summary()
+        assert s == {"Running": 12.0, "Send": 4.0, "Waiting a message": 2.0}
+
+    def test_compute_and_blocked(self):
+        r = make_result()
+        assert r.compute_time == 12.0
+        assert r.blocked_time == 6.0
+
+    def test_parallel_efficiency(self):
+        assert make_result().parallel_efficiency == pytest.approx(12.0 / 20.0)
+
+
+class TestMessageFlight:
+    def test_derived_quantities(self):
+        m = make_result().messages[0]
+        assert m.flight_time == 1.0
+        assert m.queue_delay == 0.5
+
+
+class TestEventsAndWindow:
+    def test_event_times(self):
+        r = make_result()
+        assert r.event_times("iteration") == [(0.5, 0), (5.0, 1)]
+        assert r.event_times("missing") == []
+
+    def test_window_clips_and_shifts(self):
+        w = make_result().window(2.0, 6.0)
+        assert w.duration == 4.0
+        assert w.states[0] == [("Running", 0.0, 4.0)]
+        assert w.states[1] == [("Running", 0.0, 4.0)]
+        assert w.events[0] == [(3.0, "iteration", 1)]
+        assert w.messages == []  # message not fully inside window
+
+    def test_window_keeps_contained_messages(self):
+        w = make_result().window(0.5, 3.0)
+        assert len(w.messages) == 1
+        assert w.messages[0].t_send == pytest.approx(0.5)
+
+
+class TestJsonExport:
+    def test_to_dict_fields(self):
+        d = make_result().to_dict()
+        assert d["nranks"] == 2 and d["duration"] == 10.0
+        assert d["state_summary"]["Running"] == 12.0
+        assert len(d["messages"]) == 1
+        assert d["messages"][0]["src"] == 0
+
+    def test_to_json_roundtrip(self):
+        import json
+        doc = make_result().to_json()
+        parsed = json.loads(doc)
+        assert parsed["parallel_efficiency"] == pytest.approx(0.6)
+
+    def test_to_json_file(self, tmp_path):
+        import json
+        path = tmp_path / "r.json"
+        make_result().to_json(path, include_states=False)
+        parsed = json.loads(path.read_text())
+        assert "states" not in parsed and "messages" in parsed
+
+    def test_real_result_serializes(self, tmp_path):
+        import json
+        from repro.dimemas.replay import simulate
+        from repro.dimemas.machine import MachineConfig
+        from repro.tracer import run_traced
+        from tests.conftest import make_pipeline_app
+        res = simulate(run_traced(make_pipeline_app(), 3).trace,
+                       MachineConfig())
+        parsed = json.loads(res.to_json())
+        assert parsed["nranks"] == 3

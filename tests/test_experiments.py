@@ -1,0 +1,123 @@
+"""Tests of the experiment harness."""
+
+import math
+
+import pytest
+
+from repro.dimemas.machine import MachineConfig, PAPER_BUSES
+from repro.experiments import (
+    AppExperiment,
+    PAPER_CONSUMPTION,
+    PAPER_PRODUCTION,
+    bisect_bandwidth,
+    bus_sensitivity,
+    calibrate_buses,
+    equivalent_bandwidth,
+    pattern_row,
+    relaxation_bandwidth,
+    saturation_knee,
+)
+
+
+@pytest.fixture(scope="module")
+def cg_small():
+    """A small, fast CG experiment shared across tests."""
+    return AppExperiment(
+        "cg", nranks=4, app_params=dict(n=8000, iterations=3),
+        machine=MachineConfig.paper_testbed("cg"),
+    )
+
+
+class TestAppExperiment:
+    def test_variants(self, cg_small):
+        for v in ("original", "real", "ideal"):
+            assert cg_small.trace(v).nranks == 4
+
+    def test_unknown_variant(self, cg_small):
+        with pytest.raises(ValueError):
+            cg_small.trace("quantum")
+
+    def test_trace_cached(self, cg_small):
+        assert cg_small.trace("original") is cg_small.trace("original")
+
+    def test_simulation_memoized(self, cg_small):
+        a = cg_small.simulate("original")
+        b = cg_small.simulate("original")
+        assert a is b
+
+    def test_platform_overrides(self, cg_small):
+        slow = cg_small.duration("original", bandwidth_mbps=5.0)
+        fast = cg_small.duration("original", bandwidth_mbps=5000.0)
+        assert slow > fast
+
+    def test_buses_override(self, cg_small):
+        few = cg_small.duration("original", buses=1)
+        many = cg_small.duration("original", buses=None)
+        assert few >= many
+
+    def test_speedups_keys(self, cg_small):
+        s = cg_small.speedups()
+        assert set(s) == {"real", "ideal"} and all(v > 0 for v in s.values())
+
+    def test_default_machine_uses_table1(self):
+        e = AppExperiment("cg", nranks=4)
+        assert e.machine.buses == PAPER_BUSES["cg"]
+
+
+class TestBisection:
+    def test_threshold_found(self):
+        f = lambda bw: bw >= 40.0
+        got = bisect_bandwidth(f, lo=1.0, hi=1000.0, rel_tol=0.001)
+        assert got == pytest.approx(40.0, rel=0.01)
+
+    def test_already_satisfied_at_lo(self):
+        assert bisect_bandwidth(lambda bw: True, lo=2.0) == 2.0
+
+    def test_unreachable_is_inf(self):
+        assert math.isinf(bisect_bandwidth(lambda bw: False))
+
+    def test_relaxation_below_baseline(self, cg_small):
+        bw = relaxation_bandwidth(cg_small, "real")
+        assert bw <= cg_small.machine.bandwidth_mbps * 1.01
+
+    def test_equivalent_at_least_baseline(self, cg_small):
+        bw = equivalent_bandwidth(cg_small, "real")
+        assert math.isinf(bw) or bw >= cg_small.machine.bandwidth_mbps * 0.99
+
+    def test_relaxation_monotone_wrt_variant(self, cg_small):
+        """The ideal schedule can always run at most as fast as real,
+        so it needs at most as much bandwidth."""
+        r = relaxation_bandwidth(cg_small, "real")
+        i = relaxation_bandwidth(cg_small, "ideal")
+        assert i <= r * 1.1
+
+
+class TestCalibration:
+    def test_bus_sensitivity_monotone(self, cg_small):
+        sens = bus_sensitivity(cg_small, [1, 2, 4, 8])
+        assert sens[1] >= sens[2] >= sens[4] >= sens[8] >= sens[0] * 0.999
+
+    def test_calibrate_recovers_reference(self, cg_small):
+        ref = cg_small.duration("original", buses=3)
+        got = calibrate_buses(cg_small, ref, tolerance=0.02)
+        assert got is not None
+        d = cg_small.duration("original", buses=got)
+        assert d <= ref * 1.03
+
+    def test_calibrate_validates_reference(self, cg_small):
+        with pytest.raises(ValueError):
+            calibrate_buses(cg_small, -1.0)
+
+    def test_saturation_knee_positive(self, cg_small):
+        knee = saturation_knee(cg_small)
+        assert 1 <= knee <= 64
+
+
+class TestPatternRow:
+    def test_row_fields(self, cg_small):
+        row = pattern_row(cg_small)
+        assert row.app == "cg"
+        assert 0 <= row.production.first_element <= 1
+
+    def test_paper_tables_cover_pool(self):
+        assert set(PAPER_PRODUCTION) == set(PAPER_CONSUMPTION) == set(PAPER_BUSES)

@@ -1,0 +1,70 @@
+"""Tests of the on-disk trace cache."""
+
+import pytest
+
+from repro.experiments.cache import TraceCache
+from repro.experiments.pipeline import AppExperiment
+from repro.dimemas.machine import MachineConfig
+from repro.trace import dim
+
+
+class TestTraceCache:
+    def test_miss_then_hit(self, tmp_path, pipeline_trace):
+        cache = TraceCache(tmp_path)
+        key = cache.key(app="x", nranks=4)
+        calls = []
+        def build():
+            calls.append(1)
+            return pipeline_trace
+        a = cache.load_or_build(key, build)
+        b = cache.load_or_build(key, build)
+        assert calls == [1]
+        assert cache.hits == 1 and cache.misses == 1
+        assert dim.dumps(a) == dim.dumps(b)
+
+    def test_key_sensitive_to_fields(self):
+        k1 = TraceCache.key(app="cg", nranks=4, params={})
+        k2 = TraceCache.key(app="cg", nranks=8, params={})
+        k3 = TraceCache.key(app="cg", nranks=4, params={"n": 10})
+        assert len({k1, k2, k3}) == 3
+
+    def test_clear_and_len(self, tmp_path, pipeline_trace):
+        cache = TraceCache(tmp_path)
+        cache.load_or_build(cache.key(a=1), lambda: pipeline_trace)
+        cache.load_or_build(cache.key(a=2), lambda: pipeline_trace)
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_creates_directory(self, tmp_path):
+        cache = TraceCache(tmp_path / "deep" / "nested")
+        assert cache.directory.is_dir()
+
+
+class TestExperimentIntegration:
+    def test_experiment_uses_cache_across_instances(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        kwargs = dict(
+            app_params=dict(n=4000, iterations=2),
+            machine=MachineConfig.paper_testbed("cg"),
+            cache=cache,
+        )
+        e1 = AppExperiment("cg", nranks=4, **kwargs)
+        t1 = e1.trace("original")
+        e2 = AppExperiment("cg", nranks=4, **kwargs)
+        t2 = e2.trace("original")
+        assert cache.misses == 1 and cache.hits == 1
+        assert dim.dumps(t1) == dim.dumps(t2)
+        # cached traces still drive the full pipeline
+        s = e2.speedups()
+        assert s["real"] > 0.5
+
+    def test_streams_bypass_cache(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        e = AppExperiment(
+            "cg", nranks=4, record_streams=True,
+            app_params=dict(n=2000, iterations=1),
+            machine=MachineConfig.paper_testbed("cg"), cache=cache,
+        )
+        e.trace("original")
+        assert len(cache) == 0

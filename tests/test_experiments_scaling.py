@@ -1,0 +1,41 @@
+"""Tests of the rank-scaling study."""
+
+import pytest
+
+from repro.dimemas.machine import MachineConfig
+from repro.experiments.scaling import scaling_study
+
+
+@pytest.fixture(scope="module")
+def study():
+    return scaling_study(
+        "cg", rank_counts=(2, 4, 8),
+        machine=MachineConfig.paper_testbed("cg"),
+        app_params=dict(n=8000, iterations=2),
+    )
+
+
+class TestScalingStudy:
+    def test_one_point_per_count(self, study):
+        assert [p.nranks for p in study.points] == [2, 4, 8]
+
+    def test_speedups_positive(self, study):
+        for p in study.points:
+            assert p.speedup_real > 0.5 and p.speedup_ideal > 0.5
+
+    def test_comm_fraction_in_unit_interval(self, study):
+        for p in study.points:
+            assert 0.0 <= p.comm_fraction <= 1.0
+
+    def test_strong_scaling_reduces_per_run_time(self, study):
+        # fixed problem over more ranks: makespan shrinks (or comm-bound)
+        d = study.series("duration_original")
+        assert d[-1] < d[0]
+
+    def test_series_accessor(self, study):
+        assert len(study.series("speedup_ideal")) == 3
+
+    def test_render(self, study):
+        text = study.render()
+        assert "scaling study — cg" in text
+        assert text.count("\n") == 4

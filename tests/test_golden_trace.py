@@ -1,0 +1,68 @@
+"""Golden-trace regression: format and determinism stability.
+
+The trace format and the tracer's output are contracts: saved traces
+must keep loading, and the same program must keep producing the same
+trace.  This test pins both with a golden file generated once and
+committed; if a change legitimately alters the format or the tracer's
+output, regenerate with::
+
+    python -m tests.test_golden_trace
+"""
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.trace import dim
+from repro.trace.validate import validate
+from repro.tracer import run_traced
+
+GOLDEN = Path(__file__).parent / "data" / "golden_pingpong.dim"
+
+
+def golden_app(comm):
+    """Small fixed program covering every record kind."""
+    buf = np.zeros(16)
+    offs = np.arange(16)
+    comm.event("iteration", 0)
+    if comm.rank == 0:
+        comm.compute(1000, stores=[(buf, offs, np.linspace(0.5, 1.0, 16))])
+        comm.send(buf, 1, tag=7)
+        req = comm.irecv(1, tag=8)
+        comm.wait(req)
+    else:
+        inb = np.zeros(16)
+        comm.Recv(inb, 0, tag=7)
+        comm.compute(500, loads=[(inb, offs)])
+        comm.isend("done", 0, tag=8).wait()
+    comm.allreduce(float(comm.rank))
+    sub = comm.split(color=0, key=comm.rank)
+    sub.barrier()
+
+
+def build_golden() -> str:
+    return dim.dumps(run_traced(golden_app, 2, mips=1000.0).trace)
+
+
+class TestGoldenTrace:
+    def test_tracer_output_matches_golden(self):
+        assert GOLDEN.exists(), (
+            "golden file missing; generate with python -m tests.test_golden_trace"
+        )
+        assert build_golden() == GOLDEN.read_text()
+
+    def test_golden_still_loads_and_validates(self):
+        ts = dim.load(GOLDEN)
+        assert ts.nranks == 2
+        validate(ts, strict=True)
+
+    def test_golden_replays(self):
+        from repro.dimemas import MachineConfig, simulate
+        res = simulate(dim.load(GOLDEN), MachineConfig())
+        assert res.duration > 0
+
+
+if __name__ == "__main__":
+    GOLDEN.parent.mkdir(exist_ok=True)
+    GOLDEN.write_text(build_golden())
+    print(f"wrote {GOLDEN}")

@@ -1,0 +1,97 @@
+"""Tests of the critical-path analysis."""
+
+import pytest
+
+from repro.core.transform import overlap_transform
+from repro.dimemas.machine import MachineConfig
+from repro.dimemas.replay import simulate
+from repro.paraver.critical import critical_path, render_path
+from repro.trace.records import CpuBurst, ProcessTrace, Recv, Send, TraceSet
+
+US = 1e-6
+CFG = MachineConfig(bandwidth_mbps=100.0, latency=10e-6)
+
+
+def ts(*rank_records) -> TraceSet:
+    return TraceSet([ProcessTrace(r, list(recs))
+                     for r, recs in enumerate(rank_records)])
+
+
+class TestHandBuiltPaths:
+    def test_pure_compute_path(self):
+        res = simulate(ts([CpuBurst(100 * US)]), CFG)
+        path = critical_path(res)
+        assert path.hops == 0
+        assert path.breakdown() == {"compute": pytest.approx(100 * US)}
+        assert path.fraction("compute") == pytest.approx(1.0)
+
+    def test_single_hop_decomposition(self):
+        res = simulate(ts(
+            [CpuBurst(100 * US), Send(peer=1, tag=0, size=1000)],
+            [Recv(peer=0, tag=0, size=1000)],
+        ), CFG)
+        path = critical_path(res)
+        assert path.hops == 1
+        bd = path.breakdown()
+        # sender compute 100us + wire/latency 20us
+        assert bd["compute"] == pytest.approx(100 * US)
+        assert bd["wire"] == pytest.approx(20 * US)
+        assert path.length == pytest.approx(res.duration)
+
+    def test_pipeline_path_crosses_all_ranks(self):
+        chain = ts(
+            [CpuBurst(100 * US), Send(peer=1, tag=0, size=1000)],
+            [Recv(peer=0, tag=0, size=1000), CpuBurst(100 * US),
+             Send(peer=2, tag=0, size=1000)],
+            [Recv(peer=1, tag=0, size=1000), CpuBurst(100 * US)],
+        )
+        res = simulate(chain, CFG)
+        path = critical_path(res)
+        assert path.hops == 2
+        assert path.length == pytest.approx(res.duration)
+        assert {s.rank for s in path.segments} == {0, 1, 2}
+
+    def test_queueing_attributed(self):
+        cfg = MachineConfig(bandwidth_mbps=100.0, latency=10e-6, buses=1)
+        res = simulate(ts(
+            [Send(peer=2, tag=0, size=1000)],
+            [Send(peer=3, tag=0, size=1000)],
+            [Recv(peer=0, tag=0, size=1000)],
+            [Recv(peer=1, tag=0, size=1000)],
+        ), cfg)
+        path = critical_path(res)
+        assert path.breakdown().get("queue", 0.0) == pytest.approx(10 * US)
+
+    def test_collective_attributed(self):
+        from repro.trace.records import CollOp, GlobalOp
+        res = simulate(ts(
+            [CpuBurst(50 * US), GlobalOp(op=CollOp.BARRIER, seq=1)],
+            [CpuBurst(200 * US), GlobalOp(op=CollOp.BARRIER, seq=1)],
+        ), CFG)
+        path = critical_path(res)
+        assert path.breakdown().get("collective", 0.0) > 0
+
+
+class TestOnRealPipeline:
+    def test_path_covers_makespan(self, pipeline_trace, machine):
+        res = simulate(pipeline_trace, machine)
+        path = critical_path(res)
+        assert path.length == pytest.approx(res.duration, rel=1e-6)
+
+    def test_overlap_shrinks_wire_share(self, machine):
+        """After overlap, the critical path is more compute-bound."""
+        from repro.tracer import run_traced
+        from tests.conftest import make_pipeline_app
+        tr = run_traced(
+            make_pipeline_app(elements=4096, work=1_000_000,
+                              prod=[(0.0, 0.2), (1.0, 1.0)]),
+            4, mips=1000.0).trace
+        p0 = critical_path(simulate(tr, machine))
+        p1 = critical_path(simulate(overlap_transform(tr)[0], machine))
+        assert p1.fraction("compute") >= p0.fraction("compute") - 1e-9
+
+    def test_render(self, pipeline_trace, machine):
+        res = simulate(pipeline_trace, machine)
+        text = render_path(critical_path(res))
+        assert "critical path" in text and "compute" in text
+        assert "longest segments" in text

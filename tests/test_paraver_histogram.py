@@ -1,0 +1,78 @@
+"""Tests of the histogram/heatmap analysis views."""
+
+import numpy as np
+import pytest
+
+from repro.dimemas.replay import simulate
+from repro.paraver.histogram import (
+    Histogram,
+    flight_time_histogram,
+    message_size_histogram,
+    render_heatmap,
+    render_histogram,
+    state_duration_histogram,
+)
+
+
+@pytest.fixture
+def result(pipeline_trace, machine):
+    return simulate(pipeline_trace, machine)
+
+
+class TestHistogramBasics:
+    def test_counts_and_total(self, result):
+        h = message_size_histogram(result, bins=8)
+        assert h.total == len(result.messages)
+        assert len(h.edges) == len(h.counts) + 1
+
+    def test_mean_midpoint_close_to_true(self, result):
+        h = flight_time_histogram(result, bins=20)
+        true = np.mean([m.flight_time for m in result.messages])
+        assert h.mean() == pytest.approx(true, rel=0.2)
+
+    def test_empty_samples(self):
+        from repro.dimemas.results import SimResult
+        empty = SimResult(nranks=1, duration=1.0, rank_end=[1.0],
+                          states=[[]], messages=[], events=[[]])
+        h = message_size_histogram(empty)
+        assert h.total == 0 and h.mean() == 0.0
+
+    def test_single_valued_samples(self, result):
+        # all pipeline messages are the same size: degenerate range
+        h = message_size_histogram(result, bins=4)
+        assert h.total > 0
+
+    def test_state_duration_histogram(self, result):
+        h = state_duration_histogram(result, "Running", bins=6)
+        running = sum(
+            1 for iv in result.states for (s, _, _) in iv if s == "Running")
+        assert h.total == running
+
+    def test_log_bins(self, result):
+        h = state_duration_histogram(result, "Running", bins=6, log=True)
+        if h.total:
+            assert (np.diff(h.edges) > 0).all()
+
+
+class TestRendering:
+    def test_render_histogram_bars(self, result):
+        text = render_histogram(message_size_histogram(result, bins=5))
+        lines = text.splitlines()
+        assert len(lines) == 6
+        assert "message sizes" in lines[0]
+        assert any("#" in l for l in lines[1:])
+
+    def test_render_histogram_empty(self):
+        h = Histogram("x", np.array([0.0, 1.0]), np.zeros(1, dtype=int))
+        assert "n=0" in render_histogram(h)
+
+    def test_render_heatmap_shape(self, result):
+        text = render_heatmap(result, "Running", width=40)
+        rows = [l for l in text.splitlines() if l.startswith("rank")]
+        assert len(rows) == result.nranks
+        assert all(len(r.split("|")[1]) == 40 for r in rows)
+
+    def test_heatmap_running_dominates(self, result):
+        text = render_heatmap(result, "Running", width=30)
+        # pipeline ranks compute most of the time: dense ramp chars
+        assert "@" in text or "%" in text

@@ -1,0 +1,37 @@
+"""Smoke tests of the full reproduction report (small scale)."""
+
+import pytest
+
+from repro.experiments.report import full_report
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    # two apps, no bandwidth searches: seconds, not minutes
+    return full_report(nranks=8, apps=("cg", "alya"),
+                       include_bandwidth=False)
+
+
+class TestReportContent:
+    def test_all_sections_present(self, report_text):
+        for section in ("Table I", "Table II", "Figure 4", "Figure 5",
+                        "Figure 6"):
+            assert section in report_text
+
+    def test_paper_rows_shown_next_to_measured(self, report_text):
+        assert "(paper)" in report_text and "(measured)" in report_text
+
+    def test_apps_listed(self, report_text):
+        assert "cg" in report_text and "alya" in report_text
+
+    def test_fig4_improvement_line(self, report_text):
+        assert "paper: ~8% improvement" in report_text
+
+    def test_speedups_parse_as_numbers(self, report_text):
+        lines = report_text.splitlines()
+        idx = next(i for i, l in enumerate(lines) if "Figure 6" in l)
+        for line in lines[idx + 2:]:
+            if not line.strip():
+                break
+            parts = line.split()
+            float(parts[1]), float(parts[2])  # real/ideal columns

@@ -1,0 +1,165 @@
+"""Collective semantics (decomposed point-to-point algorithms)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smpi import Runtime
+from repro.smpi.collectives import combine
+
+SIZES = [1, 2, 3, 4, 5, 7, 8]
+
+
+@pytest.mark.parametrize("size", SIZES)
+class TestPerSize:
+    def test_bcast_from_every_root(self, size):
+        for root in range(size):
+            def main(c, root=root):
+                obj = {"v": 42} if c.rank == root else None
+                return c.bcast(obj, root=root)
+            assert Runtime(size, main).run() == [{"v": 42}] * size
+
+    def test_reduce_sum(self, size):
+        def main(c):
+            return c.reduce(c.rank + 1, op="sum", root=0)
+        out = Runtime(size, main).run()
+        assert out[0] == size * (size + 1) // 2
+        assert all(v is None for v in out[1:])
+
+    def test_allreduce_max(self, size):
+        def main(c):
+            return c.allreduce(c.rank * 2, op="max")
+        assert Runtime(size, main).run() == [2 * (size - 1)] * size
+
+    def test_gather(self, size):
+        def main(c):
+            return c.gather(chr(65 + c.rank), root=size - 1)
+        out = Runtime(size, main).run()
+        assert out[size - 1] == [chr(65 + r) for r in range(size)]
+
+    def test_scatter(self, size):
+        def main(c):
+            vals = [r * r for r in range(size)] if c.rank == 0 else None
+            return c.scatter(vals, root=0)
+        assert Runtime(size, main).run() == [r * r for r in range(size)]
+
+    def test_allgather(self, size):
+        def main(c):
+            return c.allgather(c.rank)
+        assert Runtime(size, main).run() == [list(range(size))] * size
+
+    def test_alltoall(self, size):
+        def main(c):
+            out = c.alltoall([(c.rank, d) for d in range(size)])
+            return out
+        res = Runtime(size, main).run()
+        for r, got in enumerate(res):
+            assert got == [(s, r) for s in range(size)]
+
+    def test_barrier_completes(self, size):
+        def main(c):
+            c.barrier()
+            return True
+        assert all(Runtime(size, main).run())
+
+    def test_reduce_scatter(self, size):
+        def main(c):
+            return c.reduce_scatter([float(d) for d in range(size)])
+        out = Runtime(size, main).run()
+        assert out == [pytest.approx(r * size) for r in range(size)]
+
+
+class TestArrayCollectives:
+    def test_allreduce_arrays_elementwise(self):
+        def main(c):
+            return c.allreduce(np.arange(4.0) + c.rank)
+        out = Runtime(3, main).run()
+        expect = 3 * np.arange(4.0) + 3
+        for a in out:
+            assert np.allclose(a, expect)
+
+    def test_Allreduce_into_recvbuf(self):
+        def main(c):
+            s = np.full(3, float(c.rank + 1))
+            r = np.zeros(3)
+            c.Allreduce(s, r)
+            return r.tolist()
+        assert Runtime(4, main).run() == [[10.0, 10.0, 10.0]] * 4
+
+    def test_Bcast_in_place(self):
+        def main(c):
+            buf = np.arange(5.0) if c.rank == 2 else np.zeros(5)
+            c.Bcast(buf, root=2)
+            return buf.tolist()
+        assert Runtime(4, main).run() == [list(np.arange(5.0))] * 4
+
+    def test_reduce_min_arrays(self):
+        def main(c):
+            return c.allreduce(np.array([float(c.rank), -float(c.rank)]), op="min")
+        out = Runtime(3, main).run()
+        assert np.allclose(out[0], [0.0, -2.0])
+
+
+class TestCombine:
+    @pytest.mark.parametrize("op,a,b,expect", [
+        ("sum", 2, 3, 5),
+        ("prod", 2, 3, 6),
+        ("max", 2, 3, 3),
+        ("min", 2, 3, 2),
+    ])
+    def test_scalar_ops(self, op, a, b, expect):
+        assert combine(op, a, b) == expect
+
+    def test_array_not_in_place(self):
+        a, b = np.ones(3), np.ones(3)
+        out = combine("sum", a, b)
+        assert np.allclose(out, 2) and np.allclose(a, 1)
+
+    def test_callable_op(self):
+        assert combine(lambda x, y: x - y, 10, 4) == 6
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            combine("xor", 1, 2)
+        with pytest.raises(ValueError):
+            combine("xor", np.ones(1), np.ones(1))
+
+
+class TestErrors:
+    def test_scatter_wrong_length(self):
+        from repro.smpi import RankFailedError
+        def main(c):
+            c.scatter([1], root=0)
+        with pytest.raises(RankFailedError):
+            Runtime(2, main).run()
+
+    def test_alltoall_wrong_length(self):
+        from repro.smpi import RankFailedError
+        def main(c):
+            c.alltoall([1])
+        with pytest.raises(RankFailedError):
+            Runtime(2, main).run()
+
+
+@given(size=st.integers(1, 6), seed=st.integers(0, 2**16))
+@settings(max_examples=25, deadline=None)
+def test_property_allreduce_equals_numpy_sum(size, seed):
+    rng = np.random.default_rng(seed)
+    values = rng.normal(size=size)
+    def main(c):
+        return c.allreduce(float(values[c.rank]))
+    out = Runtime(size, main).run()
+    for v in out:
+        assert v == pytest.approx(values.sum(), rel=1e-12, abs=1e-12)
+
+
+@given(size=st.integers(2, 6))
+@settings(max_examples=10, deadline=None)
+def test_property_alltoall_is_transpose(size):
+    def main(c):
+        return c.alltoall([c.rank * size + d for d in range(size)])
+    res = Runtime(size, main).run()
+    mat = np.array(res)
+    expect = np.arange(size * size).reshape(size, size).T
+    assert np.array_equal(mat, expect)

@@ -1,0 +1,129 @@
+"""Tests of the extended MPI API (probe, dup, Gatherv/Scatterv, ...)."""
+
+import numpy as np
+import pytest
+
+from repro.smpi import ANY_SOURCE, ANY_TAG, Runtime
+
+
+class TestProbe:
+    def test_iprobe_false_before_send(self):
+        def main(comm):
+            if comm.rank == 0:
+                assert not comm.iprobe(1, tag=3)
+                comm.send("go", 1)
+                comm.recv(1, tag=0)
+                assert comm.iprobe(1, tag=3)
+                return comm.recv(1, tag=3)
+            else:
+                comm.recv(0)
+                comm.send("probe-me", 0, tag=3)
+                comm.send("ack", 0, tag=0)
+        out = Runtime(2, main).run()
+        assert out[0] == "probe-me"
+
+    def test_blocking_probe_returns_envelope_info(self):
+        def main(comm):
+            if comm.rank == 0:
+                src, tag, size = comm.probe(ANY_SOURCE, ANY_TAG)
+                data = comm.recv(src, tag)
+                return (src, tag, size, data)
+            comm.send(np.zeros(4), 0, tag=9)
+        out = Runtime(2, main).run()
+        src, tag, size, data = out[0]
+        assert (src, tag, size) == (1, 9, 32)
+        assert np.allclose(data, 0.0)
+
+    def test_probe_does_not_consume(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.probe(1)
+                comm.probe(1)  # still there
+                return comm.recv(1)
+            comm.send(42, 0)
+        assert Runtime(2, main).run()[0] == 42
+
+
+class TestSendrecvReplace:
+    def test_ring_rotation_in_place(self):
+        def main(comm):
+            buf = np.full(3, float(comm.rank))
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            comm.Sendrecv_replace(buf, dest=right, sendtag=1,
+                                  source=left, recvtag=1)
+            return buf[0]
+        out = Runtime(4, main).run()
+        assert out == [3.0, 0.0, 1.0, 2.0]
+
+
+class TestDup:
+    def test_dup_isolates_traffic(self):
+        def main(comm):
+            dup = comm.dup()
+            assert dup.size == comm.size and dup.rank == comm.rank
+            if comm.rank == 0:
+                comm.send("a", 1, tag=1)
+                dup.send("b", 1, tag=1)
+            else:
+                b = dup.recv(0, tag=1)
+                a = comm.recv(0, tag=1)
+                return (a, b)
+        assert Runtime(2, main).run()[1] == ("a", "b")
+
+
+class TestGathervScatterv:
+    def test_gatherv_variable_blocks(self):
+        def main(comm):
+            mine = np.full(comm.rank + 1, float(comm.rank))
+            if comm.rank == 0:
+                out = np.zeros(1 + 2 + 3)
+                comm.Gatherv(mine, out, counts=[1, 2, 3], root=0)
+                return out.tolist()
+            comm.Gatherv(mine, None, root=0)
+        out = Runtime(3, main).run()
+        assert out[0] == [0.0, 1.0, 1.0, 2.0, 2.0, 2.0]
+
+    def test_gatherv_count_mismatch_detected(self):
+        from repro.smpi import RankFailedError
+        def main(comm):
+            mine = np.zeros(2)
+            if comm.rank == 0:
+                comm.Gatherv(mine, np.zeros(10), counts=[1, 1], root=0)
+            else:
+                comm.Gatherv(mine, None, root=0)
+        with pytest.raises(RankFailedError, match="disagree"):
+            Runtime(2, main).run()
+
+    def test_scatterv_variable_blocks(self):
+        def main(comm):
+            recv = np.zeros(comm.rank + 1)
+            if comm.rank == 0:
+                send = np.arange(6.0)
+                comm.Scatterv(send, [1, 2, 3], recv, root=0)
+            else:
+                comm.Scatterv(None, None, recv, root=0)
+            return recv.tolist()
+        out = Runtime(3, main).run()
+        assert out == [[0.0], [1.0, 2.0], [3.0, 4.0, 5.0]]
+
+    def test_scatterv_validation(self):
+        from repro.smpi import RankFailedError
+        def main(comm):
+            comm.Scatterv(None, None, np.zeros(1), root=0)
+        with pytest.raises(RankFailedError, match="sendbuf"):
+            Runtime(2, main).run()
+
+    def test_roundtrip_scatterv_gatherv(self):
+        def main(comm):
+            counts = [k + 1 for k in range(comm.size)]
+            total = sum(counts)
+            recv = np.zeros(comm.rank + 1)
+            send = np.arange(float(total)) if comm.rank == 0 else None
+            comm.Scatterv(send, counts if comm.rank == 0 else None, recv, root=0)
+            recv *= 2
+            out = np.zeros(total) if comm.rank == 0 else None
+            comm.Gatherv(recv, out, root=0)
+            return out.tolist() if comm.rank == 0 else None
+        out = Runtime(4, main).run()
+        assert out[0] == (np.arange(10.0) * 2).tolist()

@@ -1,0 +1,121 @@
+"""Unit tests of the message-matching engine (MessageBoard)."""
+
+import numpy as np
+import pytest
+
+from repro.smpi.matching import ANY_SOURCE, ANY_TAG, MessageBoard
+
+
+class TestBasicMatching:
+    def test_send_then_recv(self):
+        b = MessageBoard()
+        b.post_send(0, 1, 5, "hello")
+        pr = b.post_recv(1, 0, 5)
+        assert b.is_complete(pr)
+        assert b.take(pr).payload == "hello"
+
+    def test_recv_then_send(self):
+        b = MessageBoard()
+        pr = b.post_recv(1, 0, 5)
+        assert not b.is_complete(pr)
+        b.post_send(0, 1, 5, "late")
+        assert b.is_complete(pr)
+        assert b.take(pr).payload == "late"
+
+    def test_take_unmatched_raises(self):
+        b = MessageBoard()
+        pr = b.post_recv(1, 0, 0)
+        with pytest.raises(RuntimeError):
+            b.take(pr)
+
+    def test_tag_mismatch_no_match(self):
+        b = MessageBoard()
+        b.post_send(0, 1, 5, "x")
+        pr = b.post_recv(1, 0, 6)
+        assert not b.is_complete(pr)
+
+    def test_channel_and_sub_isolate(self):
+        b = MessageBoard()
+        b.post_send(0, 1, 0, "chan1", channel=1)
+        pr0 = b.post_recv(1, 0, 0, channel=0)
+        assert not b.is_complete(pr0)
+        pr1 = b.post_recv(1, 0, 0, channel=1)
+        assert b.is_complete(pr1)
+
+    def test_destination_isolation(self):
+        b = MessageBoard()
+        b.post_send(0, 2, 0, "for-two")
+        pr = b.post_recv(1, 0, 0)
+        assert not b.is_complete(pr)
+
+
+class TestOrdering:
+    def test_non_overtaking_same_key(self):
+        b = MessageBoard()
+        b.post_send(0, 1, 0, "first")
+        b.post_send(0, 1, 0, "second")
+        pr1 = b.post_recv(1, 0, 0)
+        pr2 = b.post_recv(1, 0, 0)
+        assert b.take(pr1).payload == "first"
+        assert b.take(pr2).payload == "second"
+
+    def test_wildcard_matches_earliest_arrival(self):
+        b = MessageBoard()
+        b.post_send(2, 0, 7, "from-two")
+        b.post_send(1, 0, 7, "from-one")
+        pr = b.post_recv(0, ANY_SOURCE, ANY_TAG)
+        assert b.take(pr).payload == "from-two"  # earlier global seq
+
+    def test_earliest_posted_recv_wins(self):
+        b = MessageBoard()
+        pr1 = b.post_recv(1, 0, 0)
+        pr2 = b.post_recv(1, 0, 0)
+        b.post_send(0, 1, 0, "x")
+        assert b.is_complete(pr1)
+        assert not b.is_complete(pr2)
+
+    def test_wildcard_recv_posted_first(self):
+        b = MessageBoard()
+        pr = b.post_recv(0, ANY_SOURCE, 3)
+        b.post_send(5, 0, 3, "payload")
+        assert b.is_complete(pr)
+        env = b.take(pr)
+        assert env.src == 5 and env.tag == 3
+
+
+class TestPayloadSemantics:
+    def test_ndarray_copied(self):
+        b = MessageBoard()
+        a = np.ones(3)
+        b.post_send(0, 1, 0, a)
+        a[:] = 9
+        pr = b.post_recv(1, 0, 0)
+        assert np.allclose(b.take(pr).payload, 1.0)
+
+    def test_dict_deep_copied(self):
+        b = MessageBoard()
+        d = {"inner": [1]}
+        b.post_send(0, 1, 0, d)
+        d["inner"].append(2)
+        pr = b.post_recv(1, 0, 0)
+        assert b.take(pr).payload == {"inner": [1]}
+
+    def test_scalar_payloads(self):
+        b = MessageBoard()
+        for v in (1, 2.5, "s", b"b", None, True):
+            b.post_send(0, 1, 0, v)
+            pr = b.post_recv(1, 0, 0)
+            assert b.take(pr).payload == v
+
+
+class TestCounters:
+    def test_pending_counts(self):
+        b = MessageBoard()
+        assert b.pending_send_count() == 0
+        b.post_send(0, 1, 0, "x")
+        assert b.pending_send_count() == 1
+        pr = b.post_recv(1, 0, 9)
+        assert b.pending_recv_count() == 1
+        b.post_send(0, 1, 9, "y")
+        assert b.pending_recv_count() == 0
+        assert b.pending_send_count() == 1

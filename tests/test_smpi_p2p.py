@@ -1,0 +1,179 @@
+"""Point-to-point semantics of the simulated runtime."""
+
+import numpy as np
+import pytest
+
+from repro.smpi import ANY_SOURCE, ANY_TAG, Runtime
+from repro.smpi.datatypes import measure
+
+
+class TestBlocking:
+    def test_object_send_recv(self):
+        def main(c):
+            if c.rank == 0:
+                c.send({"k": [1, 2]}, 1)
+            else:
+                return c.recv(0)
+        assert Runtime(2, main).run()[1] == {"k": [1, 2]}
+
+    def test_array_send_recv_into_buffer(self):
+        def main(c):
+            if c.rank == 0:
+                c.Send(np.arange(8.0), 1, tag=2)
+            else:
+                buf = np.zeros(8)
+                c.Recv(buf, 0, tag=2)
+                return buf.sum()
+        assert Runtime(2, main).run()[1] == pytest.approx(28.0)
+
+    def test_value_semantics_on_send(self):
+        """Mutating the buffer after send must not affect the receiver."""
+        def main(c):
+            if c.rank == 0:
+                a = np.ones(4)
+                c.send(a, 1)
+                a[:] = 99.0
+            else:
+                return c.recv(0).sum()
+        assert Runtime(2, main).run()[1] == pytest.approx(4.0)
+
+    def test_tag_selectivity(self):
+        def main(c):
+            if c.rank == 0:
+                c.send("low", 1, tag=1)
+                c.send("high", 1, tag=2)
+            else:
+                high = c.recv(0, tag=2)
+                low = c.recv(0, tag=1)
+                return (low, high)
+        assert Runtime(2, main).run()[1] == ("low", "high")
+
+    def test_fifo_non_overtaking_same_key(self):
+        def main(c):
+            if c.rank == 0:
+                for k in range(5):
+                    c.send(k, 1, tag=0)
+            else:
+                return [c.recv(0, tag=0) for _ in range(5)]
+        assert Runtime(2, main).run()[1] == [0, 1, 2, 3, 4]
+
+    def test_any_source_any_tag(self):
+        def main(c):
+            if c.rank == 0:
+                vals = sorted(c.recv(ANY_SOURCE, ANY_TAG) for _ in range(2))
+                return vals
+            c.send(c.rank * 10, 0, tag=c.rank)
+        assert Runtime(3, main).run()[0] == [10, 20]
+
+    def test_invalid_peer_rejected(self):
+        from repro.smpi import RankFailedError
+        def main(c):
+            c.send(1, 5)
+        with pytest.raises(RankFailedError, match="out of range"):
+            Runtime(2, main).run()
+
+    def test_sendrecv(self):
+        def main(c):
+            other = 1 - c.rank
+            return c.sendrecv(f"from{c.rank}", other, sendtag=1,
+                              source=other, recvtag=1)
+        assert Runtime(2, main).run() == ["from1", "from0"]
+
+
+class TestNonBlocking:
+    def test_isend_wait_returns_none_payload(self):
+        def main(c):
+            if c.rank == 0:
+                req = c.isend([1, 2], 1)
+                assert req.wait() is None
+            else:
+                return c.recv(0)
+        assert Runtime(2, main).run()[1] == [1, 2]
+
+    def test_irecv_wait_returns_payload(self):
+        def main(c):
+            if c.rank == 0:
+                c.send("x", 1)
+            else:
+                return c.irecv(0).wait()
+        assert Runtime(2, main).run()[1] == "x"
+
+    def test_irecv_into_buffer(self):
+        def main(c):
+            if c.rank == 0:
+                c.Send(np.full(3, 7.0), 1)
+            else:
+                buf = np.zeros(3)
+                req = c.Irecv(buf, 0)
+                c.wait(req)
+                return buf.tolist()
+        assert Runtime(2, main).run()[1] == [7.0, 7.0, 7.0]
+
+    def test_waitall_multiple(self):
+        def main(c):
+            if c.rank == 0:
+                reqs = [c.irecv(1, tag=t) for t in (1, 2, 3)]
+                return c.waitall(reqs)
+            for t in (3, 1, 2):
+                c.send(t * 100, 0, tag=t)
+        assert Runtime(2, main).run()[0] == [100, 200, 300]
+
+    def test_test_polling(self):
+        def main(c):
+            if c.rank == 0:
+                req = c.irecv(1)
+                # not yet arrived: test() may be False, never raises
+                req.test()
+                c.send("go", 1)
+                val = c.wait(req)
+                return val
+            else:
+                assert c.recv(0) == "go" or True
+                got = c.recv(0)
+                c.send("answer", 0)
+                return got
+        # rank1 receives "go" then sends; rank0 gets "answer"
+        def main2(c):
+            if c.rank == 0:
+                req = c.irecv(1)
+                assert req.test() is False
+                c.send("go", 1)
+                return c.wait(req)
+            else:
+                c.recv(0)
+                c.send("answer", 0)
+        assert Runtime(2, main2).run()[0] == "answer"
+
+    def test_empty_waitall(self):
+        def main(c):
+            return c.waitall([])
+        assert Runtime(1, main).run() == [[]]
+
+    def test_request_done_flag(self):
+        def main(c):
+            if c.rank == 0:
+                req = c.isend(1, 1)
+                assert req.done  # buffered sends complete immediately
+            else:
+                req = c.irecv(0)
+                c.wait(req)
+                assert req.done
+        Runtime(2, main).run()
+
+
+class TestMeasure:
+    def test_ndarray(self):
+        assert measure(np.zeros(10)) == (80, 10, 8)
+
+    def test_none_is_pure_sync(self):
+        assert measure(None) == (0, 0, 1)
+
+    def test_bytes(self):
+        assert measure(b"abcd") == (4, 4, 1)
+
+    def test_scalar(self):
+        assert measure(3.14) == (8, 1, 8)
+
+    def test_object_uses_pickle_length(self):
+        size, elements, elem = measure({"a": 1})
+        assert size > 0 and elements == 1 and elem == size

@@ -1,0 +1,158 @@
+"""Tests of the deterministic cooperative MPI runtime."""
+
+import numpy as np
+import pytest
+
+from repro.smpi import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Comm,
+    DeadlockError,
+    Observer,
+    RankFailedError,
+    Runtime,
+)
+
+
+class TestBasics:
+    def test_single_rank(self):
+        assert Runtime(1, lambda c: c.rank * 10).run() == [0]
+
+    def test_return_values_by_rank(self):
+        assert Runtime(4, lambda c: c.rank ** 2).run() == [0, 1, 4, 9]
+
+    def test_rank_and_size(self):
+        def main(c):
+            assert c.Get_rank() == c.rank
+            assert c.Get_size() == 3
+            return c.size
+        assert Runtime(3, main).run() == [3, 3, 3]
+
+    def test_invalid_nranks(self):
+        with pytest.raises(ValueError):
+            Runtime(0, lambda c: None)
+
+    def test_mpmd_rank_functions(self):
+        fns = [lambda c: "a", lambda c: "b"]
+        assert Runtime(2, fns).run() == ["a", "b"]
+
+    def test_mpmd_wrong_count(self):
+        with pytest.raises(ValueError):
+            Runtime(3, [lambda c: None])
+
+
+class TestFailureHandling:
+    def test_rank_exception_propagates(self):
+        def main(c):
+            if c.rank == 1:
+                raise RuntimeError("boom on 1")
+            c.recv(1 - c.rank) if c.size > 1 else None
+        with pytest.raises(RankFailedError, match="rank 1"):
+            Runtime(2, main).run()
+
+    def test_deadlock_detected_and_described(self):
+        def main(c):
+            c.recv((c.rank + 1) % c.size, tag=5)
+        with pytest.raises(DeadlockError, match="tag=5"):
+            Runtime(3, main).run()
+
+    def test_threads_cleaned_up_after_deadlock(self):
+        import threading
+        before = threading.active_count()
+        def main(c):
+            c.recv(1 - c.rank)
+        for _ in range(3):
+            with pytest.raises(DeadlockError):
+                Runtime(2, main).run()
+        assert threading.active_count() <= before + 1
+
+
+class TestDeterminism:
+    def test_message_log_is_reproducible(self):
+        def run_once():
+            log = []
+            def main(c):
+                if c.rank == 0:
+                    for k in range(5):
+                        got = c.recv(ANY_SOURCE, ANY_TAG)
+                        log.append(got)
+                else:
+                    c.send(f"m{c.rank}", 0, tag=c.rank)
+                    if c.rank == 1:
+                        c.send("extra", 0, tag=9)
+                    if c.rank == 2:
+                        c.send("extra2", 0, tag=9)
+            Runtime(4, main).run()
+            return tuple(log)
+        runs = {run_once() for _ in range(5)}
+        assert len(runs) == 1
+
+    def test_virtual_clock_advances(self):
+        seen = {}
+        class Probe(Observer):
+            def on_compute(self, rank, start, instr, loads, stores):
+                seen.setdefault(rank, []).append((start, instr))
+        def main(c):
+            c.compute(100)
+            c.compute(50)
+        Runtime(2, main, observers=lambda r: Probe()).run()
+        assert seen[0] == [(0, 100), (100, 50)]
+        assert seen[1] == seen[0]
+
+
+class TestComputeValidation:
+    def test_negative_instructions_rejected(self):
+        def main(c):
+            c.compute(-5)
+        with pytest.raises(RankFailedError, match="instructions"):
+            Runtime(1, main).run()
+
+    def test_zero_instruction_burst_ok(self):
+        Runtime(1, lambda c: c.compute(0)).run()
+
+
+class TestObserverCallbacks:
+    def test_full_callback_sequence(self):
+        events = []
+        class Rec(Observer):
+            def on_start(self, rank, size): events.append(("start", rank))
+            def on_compute(self, rank, s, n, l, st): events.append(("compute", n))
+            def on_send(self, rank, buf, dest, tag, size, elements, ch, sub,
+                        req, context=0):
+                events.append(("send", dest, tag, req))
+            def on_recv_post(self, rank, buf, src, tag, sz, el, ch, sub,
+                             req, context=0):
+                events.append(("post", req)); return "tok"
+            def on_recv_complete(self, rank, token, src, tag, size, elements):
+                events.append(("complete", token, src))
+            def on_wait(self, rank, reqs): events.append(("wait", tuple(reqs)))
+            def on_event(self, rank, name, value): events.append(("event", name))
+            def on_finish(self, rank): events.append(("finish", rank))
+
+        def main(c):
+            if c.rank == 0:
+                c.event("go")
+                c.compute(10)
+                c.send(np.zeros(2), 1, tag=1)
+            else:
+                req = c.irecv(0, tag=1)
+                c.wait(req)
+
+        obs = [Rec() if r == 0 else Observer() for r in range(2)]
+        obs1 = Rec()
+        obs[1] = obs1
+        Runtime(2, main, observers=obs).run()
+        kinds = [e[0] for e in events]
+        assert kinds.count("start") == 2 and kinds.count("finish") == 2
+        assert ("send", 1, 1, None) in events
+        assert ("event", "go") in events
+        # the receiver posted, waited, completed with token and source 0
+        assert ("complete", "tok", 0) in events
+        post_i = kinds.index("post")
+        wait_i = kinds.index("wait")
+        comp_i = kinds.index("complete")
+        assert post_i < wait_i < comp_i
+
+    def test_observer_count_validated(self):
+        with pytest.raises(ValueError):
+            Runtime(2, lambda c: None, observers=[Observer()])

@@ -1,0 +1,144 @@
+"""Tests of sub-communicators (``comm.split``) end to end."""
+
+import numpy as np
+import pytest
+
+from repro.core.transform import overlap_transform
+from repro.dimemas.machine import MachineConfig
+from repro.dimemas.replay import simulate
+from repro.smpi import Runtime
+from repro.trace.records import CHANNEL_COLLECTIVE, GlobalOp, ISend, Send
+from repro.trace.validate import validate
+from repro.tracer import run_traced
+
+CFG = MachineConfig(bandwidth_mbps=100.0, latency=5e-6)
+
+
+class TestSplitSemantics:
+    def test_row_and_column_communicators(self):
+        """The NPB-CG pattern: a 2-D grid split into rows and columns."""
+        def main(comm):
+            px = 2
+            row = comm.split(color=comm.rank // px, key=comm.rank)
+            col = comm.split(color=comm.rank % px, key=comm.rank)
+            return (row.rank, row.size, col.rank, col.size)
+        out = Runtime(4, main).run()
+        assert out == [(0, 2, 0, 2), (1, 2, 0, 2), (0, 2, 1, 2), (1, 2, 1, 2)]
+
+    def test_key_orders_members(self):
+        def main(comm):
+            sub = comm.split(color=0, key=-comm.rank)  # reverse order
+            return sub.rank
+        assert Runtime(3, main).run() == [2, 1, 0]
+
+    def test_undefined_color_gets_none(self):
+        def main(comm):
+            sub = comm.split(color=None if comm.rank == 0 else 1)
+            return sub if sub is None else sub.size
+        out = Runtime(3, main).run()
+        assert out == [None, 2, 2]
+
+    def test_p2p_within_subcomm_uses_local_ranks(self):
+        def main(comm):
+            sub = comm.split(color=comm.rank % 2)
+            if sub.rank == 0:
+                sub.send(f"hello-{comm.rank}", 1)
+                return None
+            return sub.recv(0)
+        out = Runtime(4, main).run()
+        # world 2 receives from world 0; world 3 from world 1
+        assert out[2] == "hello-0" and out[3] == "hello-1"
+
+    def test_contexts_isolate_identical_tags(self):
+        """Same (peer, tag) in two communicators must not cross-match."""
+        def main(comm):
+            sub = comm.split(color=0)  # same membership as world
+            if comm.rank == 0:
+                comm.send("world", 1, tag=5)
+                sub.send("sub", 1, tag=5)
+            else:
+                got_sub = sub.recv(0, tag=5)
+                got_world = comm.recv(0, tag=5)
+                return (got_world, got_sub)
+        assert Runtime(2, main).run()[1] == ("world", "sub")
+
+    def test_collectives_within_subcomm(self):
+        def main(comm):
+            row = comm.split(color=comm.rank // 2, key=comm.rank)
+            total = row.allreduce(comm.rank)
+            gathered = row.allgather(comm.rank)
+            return (total, gathered)
+        out = Runtime(4, main).run()
+        assert out[0] == (1, [0, 1]) and out[1] == (1, [0, 1])
+        assert out[2] == (5, [2, 3]) and out[3] == (5, [2, 3])
+
+    def test_nested_split(self):
+        def main(comm):
+            half = comm.split(color=comm.rank // 4, key=comm.rank)
+            quarter = half.split(color=half.rank // 2, key=half.rank)
+            return quarter.allreduce(comm.rank)
+        out = Runtime(8, main).run()
+        assert out == [1, 1, 5, 5, 9, 9, 13, 13]
+
+    def test_split_of_subcomm_world_ranks_preserved(self):
+        def main(comm):
+            sub = comm.split(color=comm.rank % 2)    # evens / odds
+            if sub is None:
+                return None
+            sub2 = sub.split(color=0, key=sub.rank)
+            # members of sub2 are the same world ranks as sub
+            if sub2.rank == 0 and sub2.size > 1:
+                sub2.send(comm.rank * 100, 1)
+                return None
+            return sub2.recv(0)
+        out = Runtime(4, main).run()
+        assert out[2] == 0 and out[3] == 100
+
+
+class TestTracedSubcomms:
+    def app(self, comm):
+        row = comm.split(color=comm.rank // 2, key=comm.rank)
+        buf = np.zeros(64)
+        offs = np.arange(64)
+        for _ in range(2):
+            comm.compute(100_000, stores=[(buf, offs)])
+            if row.rank == 0:
+                row.send(buf, 1, tag=1)
+            else:
+                inb = np.zeros(64)
+                row.Recv(inb, 0, tag=1)
+                comm.compute(50_000, loads=[(inb, offs)])
+            row.allreduce(1.0)
+        comm.barrier()
+
+    def test_trace_validates(self):
+        tr = run_traced(self.app, 4).trace
+        validate(tr, strict=True)
+
+    def test_records_carry_contexts(self):
+        tr = run_traced(self.app, 4).trace
+        contexts = {r.context for p in tr for r in p
+                    if isinstance(r, (Send, ISend))}
+        assert len(contexts) >= 2  # world barrier + subcomm traffic
+
+    def test_dim_roundtrip_preserves_contexts(self):
+        from repro.trace import dim
+        tr = run_traced(self.app, 4).trace
+        assert dim.dumps(dim.loads(dim.dumps(tr))) == dim.dumps(tr)
+
+    def test_transform_and_replay(self):
+        tr = run_traced(self.app, 4).trace
+        base = simulate(tr, CFG).duration
+        ov, stats = overlap_transform(tr)
+        validate(ov, strict=True)
+        dur = simulate(ov, CFG).duration
+        assert 0 < dur <= base * 1.2
+        assert stats.messages_transformed > 0
+
+    def test_analytic_collectives_record_membership(self):
+        tr = run_traced(self.app, 4, decompose_collectives=False).trace
+        gops = [r for p in tr for r in p if isinstance(r, GlobalOp)]
+        assert any(g.members == 2 for g in gops)    # row allreduces
+        assert any(g.members == 4 for g in gops)    # world barrier
+        res = simulate(tr, CFG)
+        assert res.duration > 0

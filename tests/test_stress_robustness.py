@@ -1,0 +1,116 @@
+"""Stress and robustness tests: extreme configurations must not break
+invariants (they may be slow or silly, never wrong)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ideal import ideal_transform
+from repro.core.transform import OverlapConfig, overlap_transform
+from repro.dimemas.machine import MachineConfig
+from repro.dimemas.replay import simulate
+from repro.smpi import Runtime
+from repro.trace.validate import validate
+from repro.tracer import run_traced
+from tests.conftest import make_pipeline_app
+
+
+class TestExtremePlatforms:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return run_traced(make_pipeline_app(elements=256, work=200_000), 4,
+                          mips=1000.0).trace
+
+    @pytest.mark.parametrize("bw", [0.001, 1e9])
+    def test_extreme_bandwidths(self, trace, bw):
+        res = simulate(trace, MachineConfig(bandwidth_mbps=bw))
+        assert res.duration > 0
+
+    def test_zero_latency(self, trace):
+        res = simulate(trace, MachineConfig(latency=0.0))
+        assert res.duration > 0
+
+    def test_huge_latency_dominates(self, trace):
+        slow = simulate(trace, MachineConfig(latency=1.0)).duration
+        fast = simulate(trace, MachineConfig(latency=1e-6)).duration
+        assert slow > fast + 1.0  # at least one serialized latency
+
+    def test_single_bus_many_ranks(self):
+        tr = run_traced(make_pipeline_app(elements=128, work=50_000), 8,
+                        mips=1000.0).trace
+        res = simulate(tr, MachineConfig(buses=1))
+        assert res.duration > 0
+        assert res.network_stats["peak_active_transfers"] == 1
+
+    def test_everything_rendezvous(self, trace):
+        res = simulate(trace, MachineConfig(eager_threshold=0))
+        assert res.duration > 0
+
+    def test_cpu_ratio_scales_linearly(self, trace):
+        base = simulate(trace, MachineConfig(bandwidth_mbps=1e6,
+                                             latency=0.0)).duration
+        double = simulate(trace, MachineConfig(bandwidth_mbps=1e6,
+                                               latency=0.0,
+                                               cpu_ratio=2.0)).duration
+        assert double == pytest.approx(2 * base, rel=0.01)
+
+
+class TestExtremeTransforms:
+    def test_256_chunks(self):
+        tr = run_traced(make_pipeline_app(elements=1024, work=500_000), 3,
+                        mips=1000.0).trace
+        out, stats = overlap_transform(tr, chunks=256)
+        validate(out, strict=True)
+        assert simulate(out, MachineConfig()).duration > 0
+
+    def test_more_chunks_than_elements(self):
+        tr = run_traced(make_pipeline_app(elements=3, work=100_000), 2,
+                        mips=1000.0).trace
+        out, stats = overlap_transform(tr, chunks=64)
+        validate(out, strict=True)
+        # chunk count capped at the element count
+        per_msg = stats.chunks_created / max(stats.messages_transformed, 1)
+        assert per_msg <= 3
+
+    def test_transform_of_communication_free_trace(self):
+        tr = run_traced(lambda c: c.compute(1000), 4).trace
+        out, stats = overlap_transform(tr)
+        assert stats.messages_total == 0
+        assert simulate(out, MachineConfig()).duration > 0
+
+    def test_zero_work_pipeline(self):
+        tr = run_traced(make_pipeline_app(work=0), 3).trace
+        for transform in (overlap_transform, ideal_transform):
+            out, _ = transform(tr)
+            validate(out, strict=True)
+            simulate(out, MachineConfig())
+
+
+class TestScaleStress:
+    def test_many_ranks_functional(self):
+        """128 cooperative threads: ring allreduce still correct."""
+        def main(comm):
+            return comm.allreduce(1)
+        out = Runtime(128, main).run()
+        assert out == [128] * 128
+
+    def test_many_small_messages(self):
+        def main(comm):
+            other = 1 - comm.rank
+            for k in range(300):
+                if comm.rank == 0:
+                    comm.send(k, other, tag=k % 7)
+                else:
+                    assert comm.recv(0, tag=k % 7) == k
+        Runtime(2, main).run()
+
+    def test_large_payloads_value_semantics(self):
+        def main(comm):
+            if comm.rank == 0:
+                big = np.arange(2_000_00, dtype=np.float64)
+                comm.send(big, 1)
+                big[:] = -1
+            else:
+                got = comm.recv(0)
+                return float(got[-1])
+        out = Runtime(2, main).run()
+        assert out[1] == 2_000_00 - 1

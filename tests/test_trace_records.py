@@ -1,0 +1,196 @@
+"""Unit tests of the trace record model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.trace.records import (
+    AccessProfile,
+    CHANNEL_APP,
+    CHANNEL_CHUNK,
+    CollOp,
+    CpuBurst,
+    Event,
+    GlobalOp,
+    IRecv,
+    ISend,
+    ProcessTrace,
+    Recv,
+    Send,
+    TraceSet,
+    Wait,
+)
+
+
+class TestCpuBurst:
+    def test_duration_stored(self):
+        assert CpuBurst(0.5).duration == 0.5
+
+    def test_numpy_duration_coerced_to_float(self):
+        b = CpuBurst(np.float64(0.25))
+        assert type(b.duration) is float
+
+    def test_instructions_optional(self):
+        assert CpuBurst(1.0).instructions is None
+        assert CpuBurst(1.0, instructions=2300).instructions == 2300
+
+    @pytest.mark.parametrize("bad", [-1.0, float("nan"), float("inf")])
+    def test_invalid_duration_rejected(self, bad):
+        with pytest.raises(ValueError):
+            CpuBurst(bad)
+
+    def test_zero_duration_allowed(self):
+        assert CpuBurst(0.0).duration == 0.0
+
+
+class TestPointToPoint:
+    def test_send_fields(self):
+        s = Send(peer=3, tag=7, size=1024, channel=CHANNEL_APP, sub=0)
+        assert s.dest == 3 and s.tag == 7 and s.size == 1024
+
+    def test_recv_source_alias(self):
+        assert Recv(peer=2, tag=0, size=8).source == 2
+
+    def test_negative_peer_rejected(self):
+        with pytest.raises(ValueError):
+            Send(peer=-1, tag=0, size=0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Recv(peer=0, tag=0, size=-4)
+
+    def test_isend_request_default(self):
+        assert ISend(peer=0, tag=0, size=1).request == -1
+
+    def test_irecv_elements_field(self):
+        r = IRecv(peer=0, tag=0, size=80, elements=10)
+        assert r.elements == 10
+
+    def test_chunk_channel_constant_distinct(self):
+        assert CHANNEL_CHUNK != CHANNEL_APP
+
+
+class TestWait:
+    def test_requests_tuple(self):
+        assert Wait([1, 2]).requests == (1, 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Wait(())
+
+
+class TestGlobalOp:
+    def test_roundtrip_op_enum(self):
+        g = GlobalOp(op=CollOp.ALLREDUCE, root=0, send_size=8, recv_size=8, seq=3)
+        assert g.op is CollOp.ALLREDUCE and g.seq == 3
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            GlobalOp(op=CollOp.BCAST, send_size=-1)
+
+
+class TestAccessProfile:
+    def make(self, times, lo=0.0, hi=1.0, kind="production"):
+        return AccessProfile(kind=kind, times=np.asarray(times, float),
+                             interval_start=lo, interval_end=hi)
+
+    def test_kind_validated(self):
+        with pytest.raises(ValueError):
+            self.make([0.5], kind="bogus")
+
+    def test_interval_order_validated(self):
+        with pytest.raises(ValueError):
+            self.make([0.5], lo=2.0, hi=1.0)
+
+    def test_elements(self):
+        assert self.make([0.1, 0.2, 0.3]).elements == 3
+
+    def test_normalized_maps_interval_to_unit(self):
+        p = self.make([2.0, 3.0], lo=2.0, hi=4.0)
+        assert np.allclose(p.normalized(), [0.0, 0.5])
+
+    def test_normalized_clips_out_of_interval(self):
+        p = self.make([-1.0, 9.0], lo=0.0, hi=1.0)
+        assert np.allclose(p.normalized(), [0.0, 1.0])
+
+    def test_normalized_preserves_nan(self):
+        p = self.make([np.nan, 0.5])
+        out = p.normalized()
+        assert math.isnan(out[0]) and out[1] == 0.5
+
+    def test_zero_span_interval(self):
+        p = self.make([1.0, np.nan], lo=1.0, hi=1.0)
+        out = p.normalized()
+        assert out[0] == 0.0 and math.isnan(out[1])
+        assert p.span == 0.0
+
+    def test_clipped(self):
+        p = self.make([-5.0, 0.25, 7.0], lo=0.0, hi=1.0)
+        assert np.allclose(p.clipped(), [0.0, 0.25, 1.0])
+
+    def test_normalized_stream_absent(self):
+        assert self.make([0.5]).normalized_stream() is None
+
+    def test_normalized_stream_present(self):
+        p = AccessProfile(
+            kind="consumption", times=np.array([0.5]),
+            interval_start=0.0, interval_end=2.0,
+            stream=(np.array([0, 0]), np.array([0.5, 1.0])),
+        )
+        offs, norm = p.normalized_stream()
+        assert np.allclose(norm, [0.25, 0.5])
+        assert offs.tolist() == [0, 0]
+
+
+class TestProcessTrace:
+    def test_rank_validation(self):
+        with pytest.raises(ValueError):
+            ProcessTrace(-1)
+
+    def test_virtual_starts_prefix_sums(self):
+        p = ProcessTrace(0, [CpuBurst(1.0), Send(peer=0, tag=0, size=4), CpuBurst(2.0)])
+        assert p.virtual_starts().tolist() == [0.0, 1.0, 1.0, 3.0]
+        assert p.virtual_duration == 3.0
+
+    def test_append_invalidates_cache(self):
+        p = ProcessTrace(0, [CpuBurst(1.0)])
+        assert p.virtual_duration == 1.0
+        p.append(CpuBurst(0.5))
+        assert p.virtual_duration == 1.5
+
+    def test_count(self):
+        p = ProcessTrace(0, [CpuBurst(1.0), CpuBurst(1.0), Event("x")])
+        assert p.count(CpuBurst) == 2
+        assert p.count(Event) == 1
+
+    def test_iteration_and_indexing(self):
+        recs = [CpuBurst(1.0), Event("a")]
+        p = ProcessTrace(0, recs)
+        assert list(p) == recs and p[1] is recs[1] and len(p) == 2
+
+
+class TestTraceSet:
+    def test_rank_order_enforced(self):
+        with pytest.raises(ValueError):
+            TraceSet([ProcessTrace(1), ProcessTrace(0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TraceSet([])
+
+    def test_totals(self):
+        ts = TraceSet([
+            ProcessTrace(0, [CpuBurst(1.0)]),
+            ProcessTrace(1, [CpuBurst(2.0), Event("e")]),
+        ])
+        assert ts.nranks == 2
+        assert ts.total_records() == 3
+        assert ts.total_virtual_compute() == pytest.approx(3.0)
+
+    def test_copy_is_independent(self):
+        ts = TraceSet([ProcessTrace(0, [CpuBurst(1.0)])], meta={"a": 1})
+        cp = ts.copy()
+        cp.meta["a"] = 2
+        cp[0].append(CpuBurst(1.0))
+        assert ts.meta["a"] == 1 and len(ts[0]) == 1

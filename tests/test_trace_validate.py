@@ -1,0 +1,128 @@
+"""Tests of structural trace validation."""
+
+import pytest
+
+from repro.trace.records import (
+    CollOp,
+    CpuBurst,
+    GlobalOp,
+    IRecv,
+    ISend,
+    ProcessTrace,
+    Recv,
+    Send,
+    TraceSet,
+    Wait,
+)
+from repro.trace.validate import ValidationError, validate
+
+
+def two_rank(recs0, recs1) -> TraceSet:
+    return TraceSet([ProcessTrace(0, recs0), ProcessTrace(1, recs1)])
+
+
+class TestValidTraces:
+    def test_minimal_matched_pair(self):
+        ts = two_rank(
+            [Send(peer=1, tag=0, size=8)],
+            [Recv(peer=0, tag=0, size=8)],
+        )
+        assert validate(ts).ok
+
+    def test_nonblocking_discipline(self):
+        ts = two_rank(
+            [ISend(peer=1, tag=0, size=8, request=1), Wait((1,))],
+            [IRecv(peer=0, tag=0, size=8, request=5), Wait((5,))],
+        )
+        assert validate(ts).ok
+
+    def test_empty_processes_valid(self):
+        assert validate(two_rank([], [])).ok
+
+    def test_traced_pipeline_is_valid(self, pipeline_trace):
+        assert validate(pipeline_trace).ok
+
+
+class TestRequestIssues:
+    def test_duplicate_request_id(self):
+        ts = two_rank(
+            [ISend(peer=1, tag=0, size=8, request=1),
+             ISend(peer=1, tag=1, size=8, request=1), Wait((1,))],
+            [Recv(peer=0, tag=0, size=8), Recv(peer=0, tag=1, size=8)],
+        )
+        rep = validate(ts)
+        assert any("duplicate" in m for m in rep.issues)
+
+    def test_wait_on_unknown_request(self):
+        ts = two_rank([Wait((99,))], [])
+        assert any("unknown request" in m for m in validate(ts).issues)
+
+    def test_request_waited_twice(self):
+        ts = two_rank(
+            [ISend(peer=1, tag=0, size=8, request=1), Wait((1,)), Wait((1,))],
+            [Recv(peer=0, tag=0, size=8)],
+        )
+        assert any("twice" in m for m in validate(ts).issues)
+
+    def test_dangling_request(self):
+        ts = two_rank(
+            [ISend(peer=1, tag=0, size=8, request=1)],
+            [Recv(peer=0, tag=0, size=8)],
+        )
+        assert any("never waited" in m for m in validate(ts).issues)
+
+
+class TestMatchingIssues:
+    def test_unmatched_send(self):
+        ts = two_rank([Send(peer=1, tag=0, size=8)], [])
+        assert any("1 send(s) vs 0 recv(s)" in m for m in validate(ts).issues)
+
+    def test_size_mismatch(self):
+        ts = two_rank(
+            [Send(peer=1, tag=0, size=8)],
+            [Recv(peer=0, tag=0, size=16)],
+        )
+        assert any("size mismatch" in m for m in validate(ts).issues)
+
+    def test_out_of_range_peer(self):
+        ts = two_rank([Send(peer=7, tag=0, size=8)], [])
+        assert any("out-of-range" in m for m in validate(ts).issues)
+
+    def test_channel_separates_keys(self):
+        ts = two_rank(
+            [Send(peer=1, tag=0, size=8, channel=0)],
+            [Recv(peer=0, tag=0, size=8, channel=1)],
+        )
+        assert not validate(ts).ok
+
+
+class TestCollectiveAlignment:
+    def test_aligned(self):
+        g = lambda: GlobalOp(op=CollOp.BARRIER, seq=1)
+        assert validate(two_rank([g()], [g()])).ok
+
+    def test_misaligned_op(self):
+        ts = two_rank(
+            [GlobalOp(op=CollOp.BARRIER, seq=1)],
+            [GlobalOp(op=CollOp.BCAST, seq=1)],
+        )
+        assert any("collective" in m for m in validate(ts).issues)
+
+    def test_missing_collective(self):
+        ts = two_rank([GlobalOp(op=CollOp.BARRIER, seq=1)], [])
+        assert any("collective" in m for m in validate(ts).issues)
+
+
+class TestStrictMode:
+    def test_raises_on_issue(self):
+        ts = two_rank([Send(peer=1, tag=0, size=8)], [])
+        with pytest.raises(ValidationError):
+            validate(ts, strict=True)
+
+    def test_no_raise_when_clean(self, pipeline_trace):
+        validate(pipeline_trace, strict=True)
+
+    def test_report_bool(self):
+        ts = two_rank([Send(peer=1, tag=0, size=8)], [])
+        assert not validate(ts)
+        assert validate(two_rank([], []))
