@@ -1,0 +1,186 @@
+"""Replay performance micro-benchmark: throughput + Figure 6 grid.
+
+Measures two things and writes them to ``BENCH_replay.json``:
+
+* **Replay throughput** — simulated events per second of wall-clock on
+  a warmed replay plan (the hot path: opcode dispatch, memoized
+  matching, coalesced bursts);
+* **Figure 6(a)-(c) grid wall-clock** — the speedup grid plus the
+  bandwidth relaxation / equivalent-bandwidth searches, run three
+  ways: serial and cold (the reference path), parallel with a cold
+  persistent cache (the warming run), and parallel with the warm
+  cache.  The warm run must produce *identical* durations and
+  thresholds — the engine and the caches change wall-clock only.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_replay.py \
+        [--nranks 16] [--jobs 4] [--apps sweep3d,bt,cg] [-o out.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro import __version__
+from repro.dimemas.machine import MachineConfig
+from repro.dimemas.replay import simulate
+from repro.experiments.bandwidth import equivalent_bandwidth, relaxation_bandwidth
+from repro.experiments.cache import SimResultCache, TraceCache
+from repro.experiments.parallel import ExperimentEngine, expand_grid
+from repro.experiments.pipeline import AppExperiment
+
+#: Bandwidth ladder replayed per (app, variant) — a miniature of the
+#: grids behind Figure 6 (None = the application's baseline platform).
+GRID_BANDWIDTHS = (None, 31.25, 62.5, 125.0, 250.0, 500.0)
+
+
+def bench_throughput(nranks: int, repeats: int = 5) -> dict:
+    """Events/second of the replay hot loop on a warmed plan."""
+    exp = AppExperiment("cg", nranks=nranks)
+    trace = exp.trace("original")
+    machine = MachineConfig.paper_testbed("cg")
+    result = simulate(trace, machine)  # warm the replay plan
+    events = result.network_stats["events_executed"]
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        simulate(trace, machine)
+    elapsed = time.perf_counter() - t0
+    return {
+        "app": "cg",
+        "nranks": nranks,
+        "events_per_replay": events,
+        "replays": repeats,
+        "wall_seconds": elapsed,
+        "events_per_second": events * repeats / elapsed,
+    }
+
+
+def run_fig6_grid(
+    apps: list[str],
+    nranks: int,
+    jobs: int,
+    cache_dir: str | None,
+) -> tuple[dict, float]:
+    """One full pass over the Figure 6(a)-(c) workload.
+
+    Returns ``(observations, wall_seconds)`` where observations holds
+    every grid-point duration and every search threshold — the identity
+    payload compared across serial/parallel/warm runs.
+    """
+    t0 = time.perf_counter()
+    with ExperimentEngine(jobs=jobs, cache_dir=cache_dir) as engine:
+        points = expand_grid(
+            apps, variants=("original", "real", "ideal"),
+            bandwidths=GRID_BANDWIDTHS, nranks=nranks,
+        )
+        durations = engine.durations(points)
+
+        trace_cache = sim_cache = None
+        if cache_dir is not None:
+            trace_cache = TraceCache(Path(cache_dir) / "traces")
+            sim_cache = SimResultCache(Path(cache_dir) / "replays")
+        eng = engine if jobs > 1 else None
+        thresholds = {}
+        for a in apps:
+            exp = AppExperiment(a, nranks=nranks,
+                                cache=trace_cache, sim_cache=sim_cache)
+            thresholds[a] = {
+                "relax_real": relaxation_bandwidth(exp, "real", engine=eng),
+                "relax_ideal": relaxation_bandwidth(exp, "ideal", engine=eng),
+                "equiv_real": equivalent_bandwidth(exp, "real", engine=eng),
+                "equiv_ideal": equivalent_bandwidth(exp, "ideal", engine=eng),
+            }
+    elapsed = time.perf_counter() - t0
+    obs = {"grid_durations": durations, "thresholds": thresholds}
+    return obs, elapsed
+
+
+def same_observations(a: dict, b: dict) -> bool:
+    """Exact equality, treating inf == inf as equal."""
+    if a["grid_durations"] != b["grid_durations"]:
+        return False
+    for app in a["thresholds"]:
+        for k, va in a["thresholds"][app].items():
+            vb = b["thresholds"][app][k]
+            if not (va == vb or (math.isinf(va) and math.isinf(vb))):
+                return False
+    return True
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--nranks", type=int, default=16)
+    ap.add_argument("-j", "--jobs", type=int, default=4)
+    ap.add_argument("--apps", default="sweep3d,bt,cg",
+                    help="comma-separated pool subset")
+    ap.add_argument("-o", "--output",
+                    default=str(Path(__file__).parent / "BENCH_replay.json"))
+    args = ap.parse_args(argv)
+    apps = args.apps.split(",")
+
+    print(f"replay throughput (nranks={args.nranks}) ...", flush=True)
+    throughput = bench_throughput(args.nranks)
+    print(f"  {throughput['events_per_second']:,.0f} events/s "
+          f"({throughput['events_per_replay']} events/replay)")
+
+    print("figure 6 grid, serial cold (jobs=1) ...", flush=True)
+    serial_obs, t_serial = run_fig6_grid(apps, args.nranks, jobs=1,
+                                         cache_dir=None)
+    print(f"  {t_serial:.2f} s")
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        print(f"figure 6 grid, parallel cold cache (jobs={args.jobs}) ...",
+              flush=True)
+        cold_obs, t_cold = run_fig6_grid(apps, args.nranks, jobs=args.jobs,
+                                         cache_dir=cache_dir)
+        print(f"  {t_cold:.2f} s")
+
+        print(f"figure 6 grid, parallel warm cache (jobs={args.jobs}) ...",
+              flush=True)
+        warm_obs, t_warm = run_fig6_grid(apps, args.nranks, jobs=args.jobs,
+                                         cache_dir=cache_dir)
+        print(f"  {t_warm:.2f} s")
+
+    identical = (same_observations(serial_obs, cold_obs)
+                 and same_observations(serial_obs, warm_obs))
+    speedup_warm = t_serial / t_warm
+    print(f"durations identical across runs: {identical}")
+    print(f"speedup (serial cold -> jobs={args.jobs} warm): "
+          f"{speedup_warm:.1f}x")
+
+    doc = {
+        "version": __version__,
+        "python": platform.python_version(),
+        "nranks": args.nranks,
+        "jobs": args.jobs,
+        "apps": apps,
+        "grid_points": len(serial_obs["grid_durations"]),
+        "throughput": throughput,
+        "fig6_grid": {
+            "serial_cold_seconds": t_serial,
+            "parallel_cold_seconds": t_cold,
+            "parallel_warm_seconds": t_warm,
+            "speedup_parallel_warm": speedup_warm,
+            "durations_identical": identical,
+        },
+    }
+    Path(args.output).write_text(json.dumps(doc, indent=1) + "\n")
+    print(f"wrote {args.output}")
+
+    if not identical:
+        print("ERROR: parallel/warm runs diverged from the serial path",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,8 +8,6 @@ Not figures of the paper — these probe the mechanisms behind them:
 * determinism of the trace-driven methodology.
 """
 
-import pytest
-
 from repro.core.ideal import ideal_transform
 from repro.core.transform import OverlapConfig, overlap_transform
 from repro.dimemas.replay import simulate

@@ -6,7 +6,6 @@
 * SMP node-packing study (Dimemas' multi-core model).
 """
 
-import pytest
 from dataclasses import replace
 
 from repro.experiments.scaling import scaling_study

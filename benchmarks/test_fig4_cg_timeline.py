@@ -10,8 +10,6 @@ Gantt the paper shows, and checks all three claims: a single-digit-
 to-low-double-digit improvement, earlier transfers, smaller waits.
 """
 
-import pytest
-
 from repro.paraver.compare import compare
 from repro.paraver.timeline import iteration_bounds
 
@@ -48,7 +46,7 @@ def test_fig4_cg_overlap_view(benchmark):
     print_block("Figure 4 — NAS-CG, 4 processes", [
         c.report(width=88, t0=t0, t1=min(t1, max(r0.duration, r1.duration))),
         "",
-        f"paper improvement    : ~8%",
+        "paper improvement    : ~8%",
         f"measured improvement : {improvement:.1f}%",
         f"blocked time         : {waits0 * 1e3:.2f}ms -> {waits1 * 1e3:.2f}ms",
     ])

@@ -12,7 +12,6 @@ signature:
 """
 
 import numpy as np
-import pytest
 
 from repro.experiments.tables import figure5_series
 

@@ -6,8 +6,6 @@ bandwidth.  Again, Sweep3D benefits from overlap the most and allows to
 reduce the network bandwidth to 11.75MB/s."*
 """
 
-import math
-
 import pytest
 
 from repro.experiments.bandwidth import relaxation_bandwidth

@@ -202,17 +202,25 @@ def main_analyze(argv: list[str] | None = None) -> int:
 
 
 def main_report(argv: list[str] | None = None) -> int:
-    """``repro-report [--nranks N] [--no-bandwidth]``"""
+    """``repro-report [--nranks N] [--no-bandwidth] [-j N] [--cache-dir D]``"""
     ap = argparse.ArgumentParser(
         prog="repro-report",
         description="Regenerate the paper's tables and figures.",
     )
     ap.add_argument("--nranks", type=int, default=64)
     ap.add_argument("--no-bandwidth", action="store_true")
+    ap.add_argument("-j", "--jobs", type=int, default=1,
+                    help="worker processes for the replay grids "
+                         "(default: 1, serial)")
+    ap.add_argument("--cache-dir", default=None,
+                    help="persist traces and replay results in this "
+                         "directory (shared by all workers; re-runs are "
+                         "nearly free)")
     args = ap.parse_args(argv)
     from .experiments.report import full_report
     print(full_report(nranks=args.nranks,
-                      include_bandwidth=not args.no_bandwidth))
+                      include_bandwidth=not args.no_bandwidth,
+                      jobs=args.jobs, cache_dir=args.cache_dir))
     return 0
 
 

@@ -149,6 +149,15 @@ class MachineConfig:
         """Copy of this platform at a different bandwidth (sweeps)."""
         return replace(self, bandwidth_mbps=bandwidth_mbps)
 
+    def with_platform(self, **overrides) -> "MachineConfig":
+        """Copy with any subset of platform fields replaced.
+
+        One call covers every experiment-side platform variation
+        (bandwidth, buses, latency, ...); validation re-runs on the
+        copy.  No overrides returns ``self`` (configs are frozen).
+        """
+        return replace(self, **overrides) if overrides else self
+
     @classmethod
     def paper_testbed(cls, app: str | None = None, **overrides) -> "MachineConfig":
         """The MareNostrum/Myrinet configuration of paper §IV.

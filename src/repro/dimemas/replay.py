@@ -37,13 +37,25 @@ finite buses and ports (:mod:`repro.dimemas.network`).
 Causality: a rank executes communication records only when the global
 event clock has caught up with its private clock, so all resource
 contention resolves in global time order.
+
+Hot path
+--------
+
+Replaying is the inner loop of every experiment (a single bandwidth
+bisection issues ~60 replays of the same trace), so the per-trace
+preprocessing is factored into a cached :class:`_ReplayPlan`: message
+matching runs once per trace object (not per replay), every record is
+tagged with a small integer opcode once (so the dispatch loop compares
+ints instead of walking an ``isinstance`` chain), and runs of adjacent
+``CpuBurst`` records are coalesced up front.
 """
 
 from __future__ import annotations
 
+import weakref
 from typing import Callable
 
-from ..core.matching import match_messages
+from ..core.matching import match_messages_cached
 from ..trace.records import (
     CpuBurst,
     Event,
@@ -64,6 +76,28 @@ from .results import MessageFlight, SimResult
 __all__ = ["ReplayError", "simulate"]
 
 _EPS = 1e-15
+
+#: Opcodes of the precompiled dispatch (assigned once per trace).
+_OP_CPU = 0
+_OP_EVENT = 1
+_OP_SEND = 2
+_OP_ISEND = 3
+_OP_RECV = 4
+_OP_IRECV = 5
+_OP_WAIT = 6
+_OP_COLL = 7
+_OP_UNKNOWN = 8
+
+_OPCODE_OF: dict[type, int] = {
+    CpuBurst: _OP_CPU,
+    Event: _OP_EVENT,
+    Send: _OP_SEND,
+    ISend: _OP_ISEND,
+    Recv: _OP_RECV,
+    IRecv: _OP_IRECV,
+    Wait: _OP_WAIT,
+    GlobalOp: _OP_COLL,
+}
 
 
 class ReplayError(RuntimeError):
@@ -110,6 +144,7 @@ class _RankRunner:
         self.sim = sim
         self.rank = rank
         self.records = sim.trace[rank].records
+        self.ops = sim.opcodes[rank]
         self.idx = 0
         self.now = 0.0
         self.finished = False
@@ -151,19 +186,25 @@ class _RankRunner:
 
     # -- the replay loop ------------------------------------------------------
     def advance(self) -> None:
-        loop = self.sim.loop
-        cfg = self.sim.cfg
-        while self.idx < len(self.records):
-            rec = self.records[self.idx]
-            if isinstance(rec, CpuBurst):
+        sim = self.sim
+        loop = sim.loop
+        cfg = sim.cfg
+        records = self.records
+        ops = self.ops
+        n = len(records)
+        while self.idx < n:
+            idx = self.idx
+            op = ops[idx]
+            rec = records[idx]
+            if op == _OP_CPU:
                 dur = rec.duration * cfg.cpu_ratio
                 self._push_state("Running", self.now, self.now + dur)
                 self.now += dur
-                self.idx += 1
+                self.idx = idx + 1
                 continue
-            if isinstance(rec, Event):
+            if op == _OP_EVENT:
                 self.events.append((self.now, rec.name, rec.value))
-                self.idx += 1
+                self.idx = idx + 1
                 continue
             # Side-effecting record: only execute once the global clock
             # has caught up (causal resource arbitration).
@@ -171,60 +212,62 @@ class _RankRunner:
                 loop.at(self.now, self.advance)
                 return
 
-            if isinstance(rec, (Send, ISend)):
-                tr = self.sim.send_at[(self.rank, self.idx)]
+            if op == _OP_SEND or op == _OP_ISEND:
+                tr = sim.send_at[(self.rank, idx)]
                 tr.send_time = self.now
                 if not tr.rendezvous:
-                    self.sim.network.submit(tr)
-                elif tr.recv_post_time is not None:
-                    self.sim.network.submit(tr)
-                if isinstance(rec, ISend) or not tr.rendezvous:
-                    self.idx += 1
+                    # Eager: enqueue the transfer and move on (OS-bypass
+                    # NIC — zero sender cost for Send and ISend alike).
+                    sim.network.submit(tr)
+                    self.idx = idx + 1
+                    continue
+                if tr.recv_post_time is not None:
+                    sim.network.submit(tr)
+                if op == _OP_ISEND:
+                    self.idx = idx + 1
                     continue
                 self._block("Send")
                 tr.on_arrived(self._resume)
                 return
 
-            if isinstance(rec, (Recv, IRecv)):
-                tr = self.sim.recv_at[(self.rank, self.idx)]
+            if op == _OP_RECV or op == _OP_IRECV:
+                tr = sim.recv_at[(self.rank, idx)]
                 tr.recv_post_time = self.now
                 if tr.rendezvous and tr.send_time is not None and tr.ready_time is None:
-                    self.sim.network.submit(tr)
-                if isinstance(rec, IRecv):
-                    self.idx += 1
+                    sim.network.submit(tr)
+                if op == _OP_IRECV:
+                    self.idx = idx + 1
                     continue
                 if tr.arrived:
-                    self.now = max(self.now, tr.arrival_time)
-                    self.idx += 1
+                    if tr.arrival_time > self.now:
+                        self.now = tr.arrival_time
+                    self.idx = idx + 1
                     continue
                 self._block("Waiting a message")
                 tr.on_arrived(self._resume)
                 return
 
-            if isinstance(rec, Wait):
-                pend: list[tuple[Transfer, str]] = []
+            if op == _OP_WAIT:
+                # Eager send requests are buffered (complete at the send
+                # call); everything else completes at message arrival.
+                pend: list[Transfer] = []
                 latest = self.now
                 for req in rec.requests:
-                    kind, tr = self.sim.req_map[(self.rank, req)]
-                    if kind == "send":
-                        if not tr.rendezvous:
-                            continue  # buffered: complete at the send call
-                        if tr.arrived:
-                            latest = max(latest, tr.arrival_time)
-                        else:
-                            pend.append((tr, "arrival"))
+                    kind, tr = sim.req_map[(self.rank, req)]
+                    if kind == "send" and not tr.rendezvous:
+                        continue
+                    if tr.arrived:
+                        if tr.arrival_time > latest:
+                            latest = tr.arrival_time
                     else:
-                        if tr.arrived:
-                            latest = max(latest, tr.arrival_time)
-                        else:
-                            pend.append((tr, "arrival"))
+                        pend.append(tr)
                 if not pend:
                     self.now = latest
-                    self.idx += 1
+                    self.idx = idx + 1
                     continue
                 self._block("Wait/WaitAll")
                 remaining = len(pend)
-                acc = [max(latest, self.now)]
+                acc = [latest]
 
                 def _done(t: float) -> None:
                     nonlocal remaining
@@ -233,44 +276,99 @@ class _RankRunner:
                     if remaining == 0:
                         self._resume(acc[0])
 
-                for tr, what in pend:
-                    if what == "inject":
-                        tr.on_injected(_done)
-                    else:
-                        tr.on_arrived(_done)
+                for tr in pend:
+                    tr.on_arrived(_done)
                 return
 
-            if isinstance(rec, GlobalOp):
+            if op == _OP_COLL:
                 self._block("Group communication")
-                self.sim.coll.enter(self, rec)
+                sim.coll.enter(self, rec)
                 return
 
             raise ReplayError(
                 f"rank {self.rank}: cannot replay record type "
-                f"{type(rec).__name__} at index {self.idx}"
+                f"{type(rec).__name__} at index {idx}"
             )
         if not self.finished:
             self.finished = True
+
+
+def _coalesce_for_replay(trace: TraceSet) -> TraceSet:
+    """Trace with maximal CpuBursts (copy only when needed).
+
+    Build-time coalescing (:meth:`ProcessTrace.append_coalesced`) keeps
+    tracer output burst-maximal, but transformed traces can reacquire
+    adjacency (e.g. a Wait dropped between two burst pieces).  Scans
+    first so the common already-coalesced case costs no copy.
+    """
+    for proc in trace:
+        prev_cpu = False
+        for rec in proc.records:
+            is_cpu = type(rec) is CpuBurst
+            if is_cpu and prev_cpu:
+                from ..trace.filters import merge_bursts
+                return merge_bursts(trace)
+            prev_cpu = is_cpu
+    return trace
+
+
+class _ReplayPlan:
+    """Platform-independent per-trace precomputation.
+
+    Computed once per :class:`TraceSet` object and shared by every
+    subsequent :func:`simulate` call on it: the coalesced record
+    streams, the per-record opcode tags, and the message matching.
+    Everything platform-dependent (transfer protocol, network state)
+    stays in :class:`_Simulation`.
+    """
+
+    __slots__ = ("fingerprint", "trace", "opcodes", "pairs", "__weakref__")
+
+    def __init__(self, trace: TraceSet):
+        #: Per-rank record counts of the *source* trace, to invalidate
+        #: the memo when records are appended after the first replay.
+        self.fingerprint = tuple(len(p.records) for p in trace)
+        self.trace = _coalesce_for_replay(trace)
+        self.opcodes = [
+            [_OPCODE_OF.get(type(r), _OP_UNKNOWN) for r in p.records]
+            for p in self.trace
+        ]
+        self.pairs = match_messages_cached(self.trace)
+
+
+_plan_cache: "weakref.WeakKeyDictionary[TraceSet, _ReplayPlan]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _plan_for(trace: TraceSet) -> _ReplayPlan:
+    plan = _plan_cache.get(trace)
+    if plan is None or plan.fingerprint != tuple(len(p.records) for p in trace):
+        plan = _ReplayPlan(trace)
+        _plan_cache[trace] = plan
+    return plan
 
 
 class _Simulation:
     """Shared replay state: loop, network, transfers, runners."""
 
     def __init__(self, trace: TraceSet, cfg: MachineConfig):
-        self.trace = trace
+        plan = _plan_for(trace)
+        self.trace = plan.trace
+        self.opcodes = plan.opcodes
         self.cfg = cfg
         self.loop = EventLoop()
-        self.network = Network(self.loop, trace.nranks, cfg)
-        self.coll = _CollectiveSync(trace.nranks, cfg, self.loop)
+        self.network = Network(self.loop, self.trace.nranks, cfg)
+        self.coll = _CollectiveSync(self.trace.nranks, cfg, self.loop)
 
         self.send_at: dict[tuple[int, int], Transfer] = {}
         self.recv_at: dict[tuple[int, int], Transfer] = {}
         self.req_map: dict[tuple[int, int], tuple[str, Transfer]] = {}
         self.transfers: list[Transfer] = []
 
-        for pair in match_messages(trace):
-            srec = trace[pair.src].records[pair.send_index]
-            rrec = trace[pair.dst].records[pair.recv_index]
+        for pair in plan.pairs:
+            srec = self.trace[pair.src].records[pair.send_index]
+            rrec = self.trace[pair.dst].records[pair.recv_index]
             rendezvous = (
                 srec.rendezvous
                 if srec.rendezvous is not None
@@ -288,7 +386,7 @@ class _Simulation:
             if isinstance(rrec, IRecv):
                 self.req_map[(pair.dst, rrec.request)] = ("recv", tr)
 
-        self.runners = [_RankRunner(self, r) for r in range(trace.nranks)]
+        self.runners = [_RankRunner(self, r) for r in range(self.trace.nranks)]
 
 
 def simulate(trace: TraceSet, machine: MachineConfig | None = None) -> SimResult:

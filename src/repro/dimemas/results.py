@@ -177,6 +177,30 @@ class SimResult:
         ]
         return out
 
+    @classmethod
+    def from_dict(cls, doc: dict) -> "SimResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        Floats survive the JSON round-trip exactly (``repr`` encoding),
+        so a cache-restored result is bit-identical to the simulated
+        one; derived keys (``state_summary``, ``parallel_efficiency``)
+        are recomputed, not read.
+        """
+        return cls(
+            nranks=int(doc["nranks"]),
+            duration=doc["duration"],
+            rank_end=list(doc["rank_end"]),
+            states=[
+                [(s, t0, t1) for s, t0, t1 in intervals]
+                for intervals in doc.get("states", [])
+            ],
+            messages=[MessageFlight(**m) for m in doc.get("messages", [])],
+            events=[
+                [(t, n, v) for t, n, v in evs] for evs in doc.get("events", [])
+            ],
+            network_stats=dict(doc.get("network_stats", {})),
+        )
+
     def to_json(self, fp=None, **kwargs) -> str | None:
         """Dump :meth:`to_dict` as JSON (to a string, path, or stream)."""
         import json

@@ -1,15 +1,24 @@
 """Experiment harness: the paper's evaluation, end to end.
 
 * :mod:`repro.experiments.pipeline` — trace/transform/replay bundles;
+* :mod:`repro.experiments.parallel` — process-pool experiment engine;
 * :mod:`repro.experiments.bandwidth` — Figure 6(b)/(c) searches;
 * :mod:`repro.experiments.calibration` — Table I bus calibration;
+* :mod:`repro.experiments.cache` — persistent trace/result caches;
 * :mod:`repro.experiments.tables` — Table II / Figure 5 data;
 * :mod:`repro.experiments.report` — the full paper-vs-measured report.
 """
 
-from .bandwidth import bisect_bandwidth, equivalent_bandwidth, relaxation_bandwidth
-from .cache import TraceCache
+from .bandwidth import (
+    NonMonotonePredicateError,
+    bisect_bandwidth,
+    bisect_bandwidth_batched,
+    equivalent_bandwidth,
+    relaxation_bandwidth,
+)
+from .cache import SimResultCache, TraceCache, trace_digest
 from .calibration import bus_sensitivity, calibrate_buses, saturation_knee
+from .parallel import ExperimentEngine, GridPoint, expand_grid, speedup_grid
 from .pipeline import AppExperiment, VARIANTS
 from .tables import (
     PAPER_CONSUMPTION,
@@ -23,10 +32,14 @@ from .scaling import ScalePoint, ScalingStudy, scaling_study
 from .sweeps import SweepResult, ascii_series, bandwidth_sweep, latency_sweep
 
 __all__ = [
-    "AppExperiment", "PAPER_CONSUMPTION", "PAPER_PRODUCTION", "PatternRow",
-    "VARIANTS", "bisect_bandwidth", "bus_sensitivity", "calibrate_buses",
-    "equivalent_bandwidth", "figure5_series", "full_report", "pattern_row",
-    "relaxation_bandwidth", "saturation_knee",
-    "ScalePoint", "ScalingStudy", "TraceCache", "scaling_study",
+    "AppExperiment", "ExperimentEngine", "GridPoint",
+    "NonMonotonePredicateError",
+    "PAPER_CONSUMPTION", "PAPER_PRODUCTION", "PatternRow",
+    "VARIANTS", "bisect_bandwidth", "bisect_bandwidth_batched",
+    "bus_sensitivity", "calibrate_buses",
+    "equivalent_bandwidth", "expand_grid", "figure5_series", "full_report",
+    "pattern_row", "relaxation_bandwidth", "saturation_knee",
+    "ScalePoint", "ScalingStudy", "SimResultCache", "TraceCache",
+    "scaling_study", "speedup_grid", "trace_digest",
     "SweepResult", "ascii_series", "bandwidth_sweep", "latency_sweep",
 ]

@@ -1,29 +1,88 @@
-"""On-disk trace cache.
+"""On-disk caches: traces and replay results.
 
-Tracing a 64-rank application takes seconds; the evaluation replays the
-same three traces dozens of times (every bandwidth-bisection step, every
-bus count).  The in-memory memoization of
-:class:`~repro.experiments.pipeline.AppExperiment` covers one process;
-this cache persists traces across processes and sessions as ``.dim``
-files keyed by a content hash of (application, parameters, scale,
-tracer settings, package version).
+Tracing a 64-rank application takes seconds and the evaluation replays
+the same three traces dozens of times (every bandwidth-bisection step,
+every bus count).  Two content-addressed directory caches make both
+costs one-time:
+
+* :class:`TraceCache` persists original traces as ``.dim`` files keyed
+  by a content hash of (application, parameters, scale, tracer
+  settings, package version);
+* :class:`SimResultCache` persists replay results as ``.json`` files
+  keyed by a content hash of the *trace itself* plus the full
+  :class:`~repro.dimemas.machine.MachineConfig`, so a repeated grid
+  point is free across processes and sessions.
+
+Both caches publish atomically (write to a per-process unique temp
+name, then :meth:`~pathlib.Path.replace`), so concurrent workers of the
+parallel experiment engine can share one cache directory: when two
+processes build the same key, both writes succeed and the last rename
+wins with identical content.
 
 Traces recorded with ``record_streams=True`` are *not* cacheable (raw
-access streams are not serialized) and bypass the cache.
+access streams are not serialized) and bypass the trace cache.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
+import weakref
+from dataclasses import asdict
 from pathlib import Path
 from typing import Callable
 
 from .. import __version__
+from ..dimemas.machine import MachineConfig
+from ..dimemas.results import SimResult
 from ..trace import dim
 from ..trace.records import TraceSet
 
-__all__ = ["TraceCache"]
+__all__ = ["SimResultCache", "TraceCache", "content_key", "trace_digest"]
+
+
+def content_key(**fields) -> str:
+    """Stable hash of describing fields (JSON-canonicalized, versioned)."""
+    blob = json.dumps(
+        {"_version": __version__, **fields},
+        sort_keys=True, default=repr,
+    ).encode()
+    return hashlib.sha256(blob).hexdigest()[:24]
+
+
+def _stage_and_publish(path: Path, text: str) -> None:
+    """Atomically publish ``text`` at ``path``.
+
+    The staging name embeds the PID so concurrent writers in different
+    processes never clobber each other's half-written file; the final
+    rename is atomic within a filesystem.
+    """
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(text)
+    tmp.replace(path)
+
+
+#: Per-TraceSet memo of content digests (guarded by record counts, like
+#: the matching memo — appends invalidate, in-place edits do not).
+_digest_cache: "weakref.WeakKeyDictionary[TraceSet, tuple[tuple[int, ...], str]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def trace_digest(trace: TraceSet) -> str:
+    """Stable content hash of a trace (its serialized form).
+
+    Memoized per trace object: one serialization pays for every replay
+    cache lookup against that trace.
+    """
+    fingerprint = tuple(len(p.records) for p in trace)
+    hit = _digest_cache.get(trace)
+    if hit is not None and hit[0] == fingerprint:
+        return hit[1]
+    digest = hashlib.sha256(dim.dumps(trace).encode()).hexdigest()[:24]
+    _digest_cache[trace] = (fingerprint, digest)
+    return digest
 
 
 class TraceCache:
@@ -39,11 +98,7 @@ class TraceCache:
     @staticmethod
     def key(**fields) -> str:
         """Stable hash of the describing fields (JSON-canonicalized)."""
-        blob = json.dumps(
-            {"_version": __version__, **fields},
-            sort_keys=True, default=repr,
-        ).encode()
-        return hashlib.sha256(blob).hexdigest()[:24]
+        return content_key(**fields)
 
     def path_for(self, key: str) -> Path:
         return self.directory / f"{key}.dim"
@@ -56,9 +111,7 @@ class TraceCache:
             return dim.load(path)
         self.misses += 1
         trace = builder()
-        tmp = path.with_suffix(".tmp")
-        dim.dump(trace, tmp)
-        tmp.replace(path)  # atomic publish
+        _stage_and_publish(path, dim.dumps(trace))
         return trace
 
     def clear(self) -> int:
@@ -71,3 +124,116 @@ class TraceCache:
 
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("*.dim"))
+
+
+class SimResultCache:
+    """A directory of content-addressed replay results (``.json``).
+
+    The key covers the trace *content* and every field of the platform
+    (plus the package version), so no two distinct simulations can
+    alias — unlike a key on selected fields, adding a new
+    :class:`MachineConfig` knob can never silently reuse stale results.
+    Restored results are bit-identical to freshly simulated ones
+    (floats round-trip exactly through JSON ``repr`` encoding).
+    """
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key_for_digest(digest: str, machine: MachineConfig) -> str:
+        """Result key from an already-known trace digest."""
+        blob = json.dumps(
+            {
+                "_version": __version__,
+                "trace": digest,
+                "machine": asdict(machine),
+            },
+            sort_keys=True, default=repr,
+        ).encode()
+        return hashlib.sha256(blob).hexdigest()[:24]
+
+    @classmethod
+    def key(cls, trace: TraceSet, machine: MachineConfig) -> str:
+        """Content hash of (trace, full platform, package version)."""
+        return cls.key_for_digest(trace_digest(trace), machine)
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def load(self, key: str) -> SimResult | None:
+        """The cached result under ``key``, or None (counts hit/miss)."""
+        path = self.path_for(key)
+        if path.exists():
+            self.hits += 1
+            return SimResult.from_dict(json.loads(path.read_text()))
+        self.misses += 1
+        return None
+
+    def store(self, key: str, result: SimResult) -> None:
+        """Publish a result under ``key`` (atomic, concurrency-safe)."""
+        _stage_and_publish(
+            self.path_for(key),
+            json.dumps(result.to_dict(), separators=(",", ":")),
+        )
+
+    def load_or_simulate(
+        self,
+        trace: TraceSet,
+        machine: MachineConfig,
+        runner: Callable[[TraceSet, MachineConfig], SimResult] | None = None,
+    ) -> SimResult:
+        """Return the cached result for (trace, machine) or replay.
+
+        ``runner`` overrides the replay callable (testing hook);
+        defaults to :func:`repro.dimemas.replay.simulate`.
+        """
+        key = self.key(trace, machine)
+        result = self.load(key)
+        if result is not None:
+            return result
+        if runner is None:
+            from ..dimemas.replay import simulate as runner
+        result = runner(trace, machine)
+        self.store(key, result)
+        return result
+
+    # -- spec -> trace-digest index ----------------------------------------
+    # A warm cache hit normally still needs the trace (its digest is
+    # half of the result key), and rebuilding or re-transforming a
+    # trace costs far more than the replay lookup it feeds.  The index
+    # persists "experiment spec -> trace digest", so repeated grid
+    # points short-circuit to a single JSON read with no trace at all.
+    # Spec keys are versioned content hashes (via ``content_key``),
+    # and traces/transforms are deterministic functions of the spec,
+    # so an index entry can only go stale across a version bump --
+    # which changes every key anyway.
+
+    def get_digest(self, spec_key: str) -> str | None:
+        """Trace digest recorded for an experiment spec, if any."""
+        path = self.directory / f"{spec_key}.digest"
+        try:
+            return path.read_text().strip() or None
+        except OSError:
+            return None
+
+    def put_digest(self, spec_key: str, digest: str) -> None:
+        """Record the trace digest of an experiment spec (atomic)."""
+        _stage_and_publish(self.directory / f"{spec_key}.digest", digest)
+
+    def clear(self) -> int:
+        """Delete all cached results (and the spec->digest index);
+        returns how many results were removed."""
+        n = 0
+        for p in self.directory.glob("*.json"):
+            p.unlink()
+            n += 1
+        for p in self.directory.glob("*.digest"):
+            p.unlink()
+        return n
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))

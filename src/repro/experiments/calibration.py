@@ -14,21 +14,41 @@ a bus count at or below the knee.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from .pipeline import AppExperiment
 
 __all__ = ["bus_sensitivity", "calibrate_buses", "saturation_knee"]
+
+
+def _bus_durations(
+    exp: AppExperiment,
+    variant: str,
+    buses_list: list,
+    engine,
+) -> list[float]:
+    """Durations for several bus counts, engine-fanned when available."""
+    if engine is None or engine.jobs <= 1:
+        return [exp.duration(variant, buses=b) for b in buses_list]
+    base = engine.point_for(exp, variant)
+    return engine.durations([replace(base, buses=b) for b in buses_list])
 
 
 def bus_sensitivity(
     exp: AppExperiment,
     counts: list[int],
     variant: str = "original",
+    engine=None,
 ) -> dict[int, float]:
-    """Simulated duration per bus count (plus ``0`` = unlimited)."""
-    out: dict[int, float] = {}
-    for b in counts:
-        out[b] = exp.duration(variant, buses=b)
-    out[0] = exp.duration(variant, buses=None)
+    """Simulated duration per bus count (plus ``0`` = unlimited).
+
+    With a parallel :class:`~repro.experiments.parallel.ExperimentEngine`
+    the whole scan runs as one concurrent grid.
+    """
+    buses_list = list(counts) + [None]
+    durations = _bus_durations(exp, variant, buses_list, engine)
+    out = dict(zip(counts, durations))
+    out[0] = durations[-1]
     return out
 
 
@@ -38,24 +58,32 @@ def calibrate_buses(
     tolerance: float = 0.02,
     max_buses: int = 64,
     variant: str = "original",
+    engine=None,
 ) -> int | None:
     """Smallest bus count matching the reference duration within tolerance.
 
     Scans upward (durations are monotone non-increasing in buses), so
     the result is the paper's "properly set up" bus count.  Returns
     ``None`` when even ``max_buses`` cannot reach the reference (the
-    reference was faster than the network model allows).
+    reference was faster than the network model allows).  A parallel
+    ``engine`` scans speculative batches of counts concurrently; the
+    walk over each batch is the sequential one, so the answer never
+    changes.
     """
     if reference_duration <= 0:
         raise ValueError("reference duration must be positive")
-    for b in range(1, max_buses + 1):
-        d = exp.duration(variant, buses=b)
-        if abs(d - reference_duration) <= tolerance * reference_duration:
-            return b
-        if d < reference_duration * (1 - tolerance):
-            # Already faster than the reference: more buses only widen
-            # the gap; this bus count is the best (conservative) match.
-            return b
+    step = engine.jobs * 2 if engine is not None and engine.jobs > 1 else 1
+    b = 1
+    while b <= max_buses:
+        chunk = list(range(b, min(b + step, max_buses + 1)))
+        for bb, d in zip(chunk, _bus_durations(exp, variant, chunk, engine)):
+            if abs(d - reference_duration) <= tolerance * reference_duration:
+                return bb
+            if d < reference_duration * (1 - tolerance):
+                # Already faster than the reference: more buses only widen
+                # the gap; this bus count is the best (conservative) match.
+                return bb
+        b = chunk[-1] + 1
     return None
 
 
@@ -64,10 +92,20 @@ def saturation_knee(
     tolerance: float = 0.02,
     max_buses: int = 64,
     variant: str = "original",
+    engine=None,
 ) -> int:
-    """Smallest bus count within ``tolerance`` of the unlimited-bus time."""
-    unlimited = exp.duration(variant, buses=None)
-    for b in range(1, max_buses + 1):
-        if exp.duration(variant, buses=b) <= unlimited * (1 + tolerance):
-            return b
+    """Smallest bus count within ``tolerance`` of the unlimited-bus time.
+
+    With a parallel ``engine``, candidate counts are probed in
+    speculative batches (same result as the sequential upward scan).
+    """
+    unlimited = _bus_durations(exp, variant, [None], engine)[0]
+    step = engine.jobs * 2 if engine is not None and engine.jobs > 1 else 1
+    b = 1
+    while b <= max_buses:
+        chunk = list(range(b, min(b + step, max_buses + 1)))
+        for bb, d in zip(chunk, _bus_durations(exp, variant, chunk, engine)):
+            if d <= unlimited * (1 + tolerance):
+                return bb
+        b = chunk[-1] + 1
     return max_buses

@@ -1,0 +1,344 @@
+"""Parallel experiment engine: fan grids of replays across processes.
+
+The paper's whole evaluation is a grid of replays — every
+bandwidth-bisection step, bus count, chunk count, and app variant
+re-runs :func:`repro.dimemas.replay.simulate` on some platform.  This
+module turns that grid into a schedulable unit:
+
+* :class:`GridPoint` — one fully-described replay: ``(app, variant,
+  bandwidth, buses, latency, chunks, nranks, app_params, machine)``;
+* :class:`ExperimentEngine` — runs grids serially (``jobs=1``) or on a
+  process pool (``jobs=N``), with per-process experiment reuse and
+  optional on-disk caches (:class:`~repro.experiments.cache.TraceCache`
+  and :class:`~repro.experiments.cache.SimResultCache`) shared by all
+  workers, so repeated points are free across processes *and* sessions;
+* :func:`expand_grid` / :func:`speedup_grid` — grid builders for the
+  Figure 6 style evaluations.
+
+Replay is deterministic, so a parallel grid returns results identical
+to the serial run, point for point; scheduling only changes wall-clock.
+The engine also powers *speculative batched bisection*
+(:func:`repro.experiments.bandwidth.bisect_bandwidth_batched`): instead
+of one sequential midpoint probe per round, the whole midpoint tree of
+the next few bisection levels is evaluated concurrently, descending
+several levels per round with bitwise-identical thresholds.
+"""
+
+from __future__ import annotations
+
+import itertools
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Callable, Iterable, Mapping, Sequence
+
+from ..dimemas.machine import MachineConfig
+from ..dimemas.results import SimResult
+from .cache import SimResultCache, TraceCache
+from .pipeline import AppExperiment
+
+__all__ = ["ExperimentEngine", "GridPoint", "expand_grid", "speedup_grid"]
+
+
+def _normalize_params(params: Mapping | Iterable | None) -> tuple:
+    """App parameters as a sorted, hashable, picklable tuple of pairs."""
+    if params is None:
+        return ()
+    items = params.items() if isinstance(params, Mapping) else params
+    return tuple(sorted((str(k), v) for k, v in items))
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One replay of the experiment grid (hashable and picklable).
+
+    ``bandwidth_mbps`` / ``buses`` / ``latency`` override the baseline
+    platform exactly like the corresponding
+    :meth:`~repro.experiments.pipeline.AppExperiment.simulate` keyword
+    arguments (``"default"`` buses = keep the baseline).  ``machine``
+    overrides the baseline platform itself; ``None`` uses the
+    application's paper test bed.
+    """
+
+    app: str
+    variant: str = "original"
+    nranks: int = 64
+    chunks: int = 4
+    bandwidth_mbps: float | None = None
+    buses: int | None | str = "default"
+    latency: float | None = None
+    app_params: tuple = ()
+    machine: MachineConfig | None = None
+
+    def experiment_key(self) -> tuple:
+        """Identity of the underlying traced experiment (platform
+        overrides excluded — they share one trace)."""
+        return (self.app, self.nranks, self.chunks, self.app_params, self.machine)
+
+
+def expand_grid(
+    apps: Sequence[str],
+    variants: Sequence[str] = ("original",),
+    bandwidths: Sequence[float | None] = (None,),
+    buses: Sequence[int | None | str] = ("default",),
+    latencies: Sequence[float | None] = (None,),
+    chunks: Sequence[int] = (4,),
+    nranks: int = 64,
+    app_params: Mapping | None = None,
+    machine: MachineConfig | None = None,
+) -> list[GridPoint]:
+    """Cartesian grid of points, in deterministic iteration order."""
+    params = _normalize_params(app_params)
+    return [
+        GridPoint(
+            app=a, variant=v, nranks=nranks, chunks=c,
+            bandwidth_mbps=bw, buses=b, latency=lat,
+            app_params=params, machine=machine,
+        )
+        for a, v, c, bw, b, lat in itertools.product(
+            apps, variants, chunks, bandwidths, buses, latencies
+        )
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# Point execution (shared by the in-process path and pool workers).
+# --------------------------------------------------------------------------- #
+
+def _resolve_experiment(
+    point: GridPoint,
+    cache_dir: str | None,
+    store: dict,
+) -> AppExperiment:
+    """The (process-local) experiment bundle behind a grid point."""
+    key = point.experiment_key()
+    exp = store.get(key)
+    if exp is None:
+        trace_cache = sim_cache = None
+        if cache_dir is not None:
+            trace_cache = TraceCache(Path(cache_dir) / "traces")
+            sim_cache = SimResultCache(Path(cache_dir) / "replays")
+        exp = AppExperiment(
+            point.app,
+            nranks=point.nranks,
+            chunks=point.chunks,
+            app_params=dict(point.app_params),
+            machine=point.machine,
+            cache=trace_cache,
+            sim_cache=sim_cache,
+        )
+        store[key] = exp
+    return exp
+
+
+def _simulate_point(point: GridPoint, cache_dir: str | None, store: dict) -> SimResult:
+    exp = _resolve_experiment(point, cache_dir, store)
+    return exp.simulate(
+        point.variant,
+        bandwidth_mbps=point.bandwidth_mbps,
+        buses=point.buses,
+        latency=point.latency,
+    )
+
+
+#: Per-worker-process state, set once by the pool initializer.
+_WORKER: dict = {"cache_dir": None, "experiments": {}}
+
+
+def _worker_init(cache_dir: str | None) -> None:
+    _WORKER["cache_dir"] = cache_dir
+    _WORKER["experiments"] = {}
+
+
+def _worker_result(point: GridPoint) -> SimResult:
+    return _simulate_point(point, _WORKER["cache_dir"], _WORKER["experiments"])
+
+
+def _worker_duration(point: GridPoint) -> float:
+    return _simulate_point(point, _WORKER["cache_dir"], _WORKER["experiments"]).duration
+
+
+# --------------------------------------------------------------------------- #
+# The engine.
+# --------------------------------------------------------------------------- #
+
+class ExperimentEngine:
+    """Process-pool scheduler for grids of replays.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (default) runs everything in-process —
+        same code path, no pool, useful as the deterministic reference.
+    cache_dir:
+        Directory for the persistent caches (created on demand):
+        ``<cache_dir>/traces`` for :class:`TraceCache` and
+        ``<cache_dir>/replays`` for :class:`SimResultCache`.  Shared by
+        all workers; ``None`` disables persistence (each process still
+        memoizes in memory).
+
+    The engine is a context manager; :meth:`close` shuts the pool down.
+    """
+
+    def __init__(self, jobs: int = 1, cache_dir: str | Path | None = None):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = int(jobs)
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self._experiments: dict = {}
+        self._pool: ProcessPoolExecutor | None = None
+
+    # -- lifecycle ----------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ExperimentEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_worker_init,
+                initargs=(self.cache_dir,),
+            )
+        return self._pool
+
+    # -- core scheduling ----------------------------------------------------
+    def _map_points(self, pool_fn: Callable, points: list[GridPoint]) -> list:
+        """Fan ``pool_fn`` over the points via the pool, preserving order.
+
+        Warm points — answerable from the persistent cache without
+        building a trace or replaying — are resolved directly in the
+        parent; only actual misses pay worker dispatch.  The misses are
+        sorted by experiment identity so one worker tends to replay all
+        platform variations of the same trace (per-process experiment
+        reuse); results come back in the input order.
+        """
+        out: list = [None] * len(points)
+        miss: list[int] = []
+        for i, p in enumerate(points):
+            hit = None
+            if self.cache_dir is not None:
+                exp = _resolve_experiment(p, self.cache_dir, self._experiments)
+                hit = exp.cached_result(
+                    p.variant, bandwidth_mbps=p.bandwidth_mbps,
+                    buses=p.buses, latency=p.latency,
+                )
+            if hit is not None:
+                out[i] = hit if pool_fn is _worker_result else hit.duration
+            else:
+                miss.append(i)
+        if not miss:
+            return out
+        order = sorted(miss, key=lambda i: (repr(points[i].experiment_key()), i))
+        grouped = [points[i] for i in order]
+        chunksize = max(1, -(-len(grouped) // (self.jobs * 2)))
+        mapped = list(self._ensure_pool().map(pool_fn, grouped, chunksize=chunksize))
+        for pos, i in enumerate(order):
+            out[i] = mapped[pos]
+        return out
+
+    def run_grid(self, points: Iterable[GridPoint]) -> list[SimResult]:
+        """Replay every grid point; results in input order.
+
+        Deterministic: identical to running the same points serially.
+        """
+        points = list(points)
+        if self.jobs <= 1 or len(points) <= 1:
+            return [
+                _simulate_point(p, self.cache_dir, self._experiments)
+                for p in points
+            ]
+        return self._map_points(_worker_result, points)
+
+    def durations(self, points: Iterable[GridPoint]) -> list[float]:
+        """Simulated makespans of every grid point, in input order.
+
+        Cheaper than :meth:`run_grid` across a pool: only a float per
+        point crosses the process boundary.
+        """
+        points = list(points)
+        if self.jobs <= 1 or len(points) <= 1:
+            return [
+                _simulate_point(p, self.cache_dir, self._experiments).duration
+                for p in points
+            ]
+        return self._map_points(_worker_duration, points)
+
+    # -- experiment interop -------------------------------------------------
+    def experiment(self, point: GridPoint) -> AppExperiment:
+        """In-process experiment bundle for a point (cached)."""
+        return _resolve_experiment(point, self.cache_dir, self._experiments)
+
+    @staticmethod
+    def point_for(exp: AppExperiment, variant: str = "original") -> GridPoint:
+        """Grid point describing an existing experiment bundle."""
+        return GridPoint(
+            app=exp.app_name,
+            variant=variant,
+            nranks=exp.nranks,
+            chunks=exp.chunks,
+            app_params=_normalize_params(exp.app_params),
+            machine=exp.machine,
+        )
+
+    def duration_predicate_many(
+        self,
+        exp: AppExperiment,
+        variant: str,
+        threshold: float,
+    ) -> Callable[[Sequence[float]], list[bool]]:
+        """Batched bandwidth predicate for the bisection searches.
+
+        Returns ``predicate_many(bandwidths) -> [duration <= threshold]``
+        evaluated through the engine (concurrently when ``jobs > 1``;
+        directly on ``exp`` when serial, reusing its memo).
+        """
+        base = self.point_for(exp, variant)
+
+        def predicate_many(bandwidths: Sequence[float]) -> list[bool]:
+            if self.jobs <= 1:
+                return [
+                    exp.duration(variant, bandwidth_mbps=float(bw)) <= threshold
+                    for bw in bandwidths
+                ]
+            pts = [replace(base, bandwidth_mbps=float(bw)) for bw in bandwidths]
+            return [d <= threshold for d in self.durations(pts)]
+
+        return predicate_many
+
+
+def speedup_grid(
+    engine: ExperimentEngine,
+    apps: Sequence[str],
+    nranks: int = 64,
+    chunks: int = 4,
+) -> dict[str, dict[str, float]]:
+    """Fig. 6(a) speedups for a pool of applications, engine-scheduled.
+
+    Returns ``{app: {"real": s, "ideal": s}}`` — the same numbers as
+    :meth:`AppExperiment.speedups` per app, computed as one grid.
+    """
+    variants = ("original", "real", "ideal")
+    points = [
+        GridPoint(app=a, variant=v, nranks=nranks, chunks=chunks)
+        for a in apps
+        for v in variants
+    ]
+    durs = engine.durations(points)
+    by_point = dict(zip(points, durs))
+    out: dict[str, dict[str, float]] = {}
+    for a in apps:
+        base = by_point[GridPoint(app=a, variant="original", nranks=nranks, chunks=chunks)]
+        out[a] = {
+            "real": base / by_point[GridPoint(app=a, variant="real", nranks=nranks, chunks=chunks)],
+            "ideal": base / by_point[GridPoint(app=a, variant="ideal", nranks=nranks, chunks=chunks)],
+        }
+    return out

@@ -54,6 +54,7 @@ class AppExperiment:
         machine: MachineConfig | None = None,
         record_streams: bool = False,
         cache=None,
+        sim_cache=None,
     ):
         self.app_name = app
         self.nranks = nranks
@@ -65,8 +66,12 @@ class AppExperiment:
         #: persisting original traces across sessions (unused when
         #: ``record_streams`` is on — streams are not serialized).
         self.cache = cache
+        #: Optional :class:`~repro.experiments.cache.SimResultCache`
+        #: persisting replay results across processes and sessions.
+        self.sim_cache = sim_cache
         self._traces: dict[str, TraceSet] = {}
-        self._sims: dict[tuple, SimResult] = {}
+        self._sims: dict[tuple[str, MachineConfig], SimResult] = {}
+        self._published_specs: set[str] = set()
 
     # ------------------------------------------------------------------ #
     def trace(self, variant: str = "original") -> TraceSet:
@@ -99,6 +104,22 @@ class AppExperiment:
                 )
         return self._traces[variant]
 
+    def _platform(
+        self,
+        bandwidth_mbps: float | None,
+        buses: int | None | str,
+        latency: float | None,
+    ) -> MachineConfig:
+        """The baseline machine with the standard experiment overrides."""
+        overrides: dict = {}
+        if bandwidth_mbps is not None:
+            overrides["bandwidth_mbps"] = bandwidth_mbps
+        if buses != "default":
+            overrides["buses"] = buses
+        if latency is not None:
+            overrides["latency"] = latency
+        return self.machine.with_platform(**overrides)
+
     def simulate(
         self,
         variant: str = "original",
@@ -107,19 +128,87 @@ class AppExperiment:
         latency: float | None = None,
     ) -> SimResult:
         """Replay a variant on a (possibly modified) platform."""
-        cfg = self.machine
-        if bandwidth_mbps is not None:
-            cfg = cfg.with_bandwidth(bandwidth_mbps)
-        if buses != "default":
-            from dataclasses import replace
-            cfg = replace(cfg, buses=buses)
-        if latency is not None:
-            from dataclasses import replace
-            cfg = replace(cfg, latency=latency)
-        key = (variant, cfg.bandwidth_mbps, cfg.buses, cfg.latency)
+        cfg = self._platform(bandwidth_mbps, buses, latency)
+        # Keyed on the *full* platform so two configs differing in any
+        # machine field (ports, cpu_ratio, eager threshold, ...) never
+        # alias to the same memoized result.
+        key = (variant, cfg)
         if key not in self._sims:
-            self._sims[key] = simulate(self.trace(variant), cfg)
+            if self.sim_cache is not None:
+                self._sims[key] = self._cached_simulate(variant, cfg)
+            else:
+                self._sims[key] = simulate(self.trace(variant), cfg)
         return self._sims[key]
+
+    def cached_result(
+        self,
+        variant: str = "original",
+        bandwidth_mbps: float | None = None,
+        buses: int | None | str = "default",
+        latency: float | None = None,
+    ) -> SimResult | None:
+        """This replay's result *if it needs no work*, else None.
+
+        Answers from the in-memory memo or — through the sim cache's
+        spec->digest index — from disk, without ever building a trace
+        or running a simulation.  The parallel engine uses this to
+        short-circuit warm grid points in the parent process instead of
+        dispatching them to workers.
+        """
+        cfg = self._platform(bandwidth_mbps, buses, latency)
+        key = (variant, cfg)
+        hit = self._sims.get(key)
+        if hit is not None or self.sim_cache is None:
+            return hit
+        if variant in self._traces:
+            from .cache import trace_digest
+            digest = trace_digest(self._traces[variant])
+        else:
+            spec = self._spec_key(variant)
+            digest = (
+                self.sim_cache.get_digest(spec) if spec is not None else None
+            )
+        if digest is None:
+            return None
+        hit = self.sim_cache.load(self.sim_cache.key_for_digest(digest, cfg))
+        if hit is not None:
+            self._sims[key] = hit
+        return hit
+
+    def _spec_key(self, variant: str) -> str | None:
+        """Versioned content key of (application spec, variant) — the
+        identity behind the sim cache's spec->digest shortcut.  None
+        when the trace is not reproducible from the spec alone."""
+        if self.record_streams:
+            return None
+        from .cache import content_key
+        return content_key(
+            kind="experiment", app=self.app_name, nranks=self.nranks,
+            chunks=self.chunks, params=self.app_params, variant=variant,
+        )
+
+    def _cached_simulate(self, variant: str, cfg: MachineConfig) -> SimResult:
+        """Replay through the persistent result cache.
+
+        The spec->digest index lets a warm hit skip trace building and
+        transformation entirely: spec key -> trace digest -> result
+        key -> one JSON read.
+        """
+        spec = self._spec_key(variant)
+        if spec is not None and variant not in self._traces:
+            digest = self.sim_cache.get_digest(spec)
+            if digest is not None:
+                hit = self.sim_cache.load(
+                    self.sim_cache.key_for_digest(digest, cfg)
+                )
+                if hit is not None:
+                    return hit
+        trace = self.trace(variant)
+        if spec is not None and spec not in self._published_specs:
+            from .cache import trace_digest
+            self.sim_cache.put_digest(spec, trace_digest(trace))
+            self._published_specs.add(spec)
+        return self.sim_cache.load_or_simulate(trace, cfg)
 
     def duration(self, variant: str = "original", **platform) -> float:
         """Simulated makespan of a variant (seconds)."""

@@ -11,11 +11,15 @@ from __future__ import annotations
 import io
 import math
 
+from pathlib import Path
+
 from ..dimemas.machine import PAPER_BUSES
 from ..paraver.compare import compare
 from ..paraver.timeline import iteration_bounds
 from .bandwidth import equivalent_bandwidth, relaxation_bandwidth
+from .cache import SimResultCache, TraceCache
 from .calibration import saturation_knee
+from .parallel import ExperimentEngine
 from .pipeline import AppExperiment
 from .tables import PAPER_CONSUMPTION, PAPER_PRODUCTION, figure5_series, pattern_row
 
@@ -37,16 +41,44 @@ def full_report(
     nranks: int = DEFAULT_NRANKS,
     apps: tuple[str, ...] = ("sweep3d", "pop", "alya", "specfem3d", "bt", "cg"),
     include_bandwidth: bool = True,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
 ) -> str:
-    """Build the complete text report (can take a few minutes)."""
+    """Build the complete text report (can take a few minutes).
+
+    ``jobs > 1`` fans the replay grids (Table I scans, Figure 6
+    speedups and bandwidth searches) across worker processes;
+    ``cache_dir`` persists traces and replay results so a re-run is
+    nearly free.  Results are identical regardless of ``jobs``.
+    """
+    engine = ExperimentEngine(jobs=jobs, cache_dir=cache_dir)
+    try:
+        return _full_report(nranks, apps, include_bandwidth, engine)
+    finally:
+        engine.close()
+
+
+def _full_report(
+    nranks: int,
+    apps: tuple[str, ...],
+    include_bandwidth: bool,
+    engine: ExperimentEngine,
+) -> str:
     out = io.StringIO()
-    exps = {a: AppExperiment(a, nranks=nranks) for a in apps}
+    trace_cache = sim_cache = None
+    if engine.cache_dir is not None:
+        trace_cache = TraceCache(Path(engine.cache_dir) / "traces")
+        sim_cache = SimResultCache(Path(engine.cache_dir) / "replays")
+    exps = {
+        a: AppExperiment(a, nranks=nranks, cache=trace_cache, sim_cache=sim_cache)
+        for a in apps
+    }
 
     # ---- Table I ---------------------------------------------------------- #
     print("== Table I: Dimemas bus counts ==", file=out)
     print(f"{'app':>10} {'paper':>6} {'saturation knee (ours)':>24}", file=out)
     for a in apps:
-        knee = saturation_knee(exps[a], tolerance=0.02)
+        knee = saturation_knee(exps[a], tolerance=0.02, engine=engine)
         print(f"{a:>10} {PAPER_BUSES[a]:>6} {knee:>24}", file=out)
     print(file=out)
 
@@ -106,15 +138,16 @@ def full_report(
         header += (f" {'relaxBW(real)':>14} {'relaxBW(ideal)':>15}"
                    f" {'equivBW(real)':>14} {'equivBW(ideal)':>15}")
     print(header, file=out)
+    eng = engine if engine.jobs > 1 else None
     for a in apps:
         e = exps[a]
         s = e.speedups()
         line = f"{a:>10} {s['real']:8.4f} {s['ideal']:8.4f}"
         if include_bandwidth:
-            rr = relaxation_bandwidth(e, "real")
-            ri = relaxation_bandwidth(e, "ideal")
-            er = equivalent_bandwidth(e, "real")
-            ei = equivalent_bandwidth(e, "ideal")
+            rr = relaxation_bandwidth(e, "real", engine=eng)
+            ri = relaxation_bandwidth(e, "ideal", engine=eng)
+            er = equivalent_bandwidth(e, "real", engine=eng)
+            ei = equivalent_bandwidth(e, "ideal", engine=eng)
             line += (f" {_fmt_bw(rr):>14} {_fmt_bw(ri):>15}"
                      f" {_fmt_bw(er):>14} {_fmt_bw(ei):>15}")
         print(line, file=out)
@@ -129,9 +162,14 @@ def main() -> None:  # pragma: no cover - exercised via CLI
     ap.add_argument("--nranks", type=int, default=DEFAULT_NRANKS)
     ap.add_argument("--no-bandwidth", action="store_true",
                     help="skip the (slow) Figure 6(b)/(c) searches")
+    ap.add_argument("-j", "--jobs", type=int, default=1,
+                    help="worker processes for the replay grids")
+    ap.add_argument("--cache-dir", default=None,
+                    help="persist traces and replay results here")
     args = ap.parse_args()
     print(full_report(nranks=args.nranks,
-                      include_bandwidth=not args.no_bandwidth))
+                      include_bandwidth=not args.no_bandwidth,
+                      jobs=args.jobs, cache_dir=args.cache_dir))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -68,20 +68,52 @@ def scaling_study(
     rank_counts: tuple[int, ...] = (4, 16, 64),
     machine: MachineConfig | None = None,
     app_params: dict | None = None,
+    engine=None,
 ) -> ScalingStudy:
     """Measure overlap benefits across a ladder of process counts.
 
     Uses the application's Table I platform by default.  Returns one
     :class:`ScalePoint` per count (each backed by a fresh trace at that
     scale — problem size is held constant, so this is a strong-scaling
-    ladder like the paper's).
+    ladder like the paper's).  With a parallel
+    :class:`~repro.experiments.parallel.ExperimentEngine` the whole
+    (rank count x variant) ladder runs as one concurrent grid — each
+    scale is an independent trace, so this is the best-parallelizing
+    study in the harness.
     """
+    mach = machine or MachineConfig.paper_testbed(app)
+    if engine is not None and engine.jobs > 1:
+        from .parallel import GridPoint, _normalize_params
+        params = _normalize_params(app_params)
+        grid = [
+            GridPoint(app=app, variant=v, nranks=n,
+                      app_params=params, machine=mach)
+            for n in rank_counts
+            for v in ("original", "real", "ideal")
+        ]
+        results = engine.run_grid(grid)
+        by_point = dict(zip(grid, results))
+
+        def res(n: int, v: str) -> "object":
+            return by_point[GridPoint(app=app, variant=v, nranks=n,
+                                      app_params=params, machine=mach)]
+
+        points = []
+        for n in rank_counts:
+            orig = res(n, "original")
+            points.append(ScalePoint(
+                nranks=n,
+                duration_original=orig.duration,
+                duration_real=res(n, "real").duration,
+                duration_ideal=res(n, "ideal").duration,
+                comm_fraction=1.0 - orig.parallel_efficiency,
+            ))
+        return ScalingStudy(app=app, points=tuple(points))
+
     points = []
     for n in rank_counts:
         exp = AppExperiment(
-            app, nranks=n,
-            machine=machine or MachineConfig.paper_testbed(app),
-            app_params=app_params,
+            app, nranks=n, machine=mach, app_params=app_params,
         )
         orig = exp.simulate("original")
         points.append(ScalePoint(

@@ -41,32 +41,62 @@ class SweepResult:
         return None
 
 
+def _sweep(
+    exp: AppExperiment,
+    parameter: str,
+    xs: tuple[float, ...],
+    variants: tuple[str, ...],
+    engine,
+) -> SweepResult:
+    """Run one (variant x value) grid, engine-fanned when available."""
+    if engine is None or engine.jobs <= 1:
+        durations = {
+            v: tuple(exp.duration(v, **{parameter: x}) for x in xs)
+            for v in variants
+        }
+        return SweepResult(parameter, xs, durations)
+    from dataclasses import replace
+    points = [
+        replace(engine.point_for(exp, v), **{parameter: x})
+        for v in variants
+        for x in xs
+    ]
+    flat = engine.durations(points)
+    durations = {
+        v: tuple(flat[i * len(xs):(i + 1) * len(xs)])
+        for i, v in enumerate(variants)
+    }
+    return SweepResult(parameter, xs, durations)
+
+
 def bandwidth_sweep(
     exp: AppExperiment,
     bandwidths: list[float] | None = None,
     variants: tuple[str, ...] = VARIANTS,
+    engine=None,
 ) -> SweepResult:
-    """Durations across link bandwidths (MB/s), all variants."""
+    """Durations across link bandwidths (MB/s), all variants.
+
+    With a parallel :class:`~repro.experiments.parallel.ExperimentEngine`
+    the whole (variant x bandwidth) grid is fanned across workers.
+    """
     xs = tuple(bandwidths or (15.625, 31.25, 62.5, 125.0, 250.0, 500.0, 1000.0))
-    durations = {
-        v: tuple(exp.duration(v, bandwidth_mbps=bw) for bw in xs)
-        for v in variants
-    }
-    return SweepResult("bandwidth_mbps", xs, durations)
+    return _sweep(exp, "bandwidth_mbps", xs, variants, engine)
 
 
 def latency_sweep(
     exp: AppExperiment,
     latencies: list[float] | None = None,
     variants: tuple[str, ...] = VARIANTS,
+    engine=None,
 ) -> SweepResult:
-    """Durations across per-message latencies (seconds), all variants."""
+    """Durations across per-message latencies (seconds), all variants.
+
+    ``engine`` fans the grid across workers as in
+    :func:`bandwidth_sweep`.
+    """
     xs = tuple(latencies or (1e-6, 2e-6, 4e-6, 8e-6, 16e-6, 32e-6, 64e-6))
-    durations = {
-        v: tuple(exp.duration(v, latency=lat) for lat in xs)
-        for v in variants
-    }
-    return SweepResult("latency", xs, durations)
+    return _sweep(exp, "latency", xs, variants, engine)
 
 
 def ascii_series(

@@ -11,8 +11,6 @@ from __future__ import annotations
 
 from collections import defaultdict
 
-import numpy as np
-
 from ..dimemas.results import SimResult
 
 __all__ = ["iteration_bounds", "sample_states"]

@@ -15,7 +15,7 @@ protocol buffer), so a sender may immediately reuse its buffer.
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 import numpy as np

@@ -371,6 +371,37 @@ class ProcessTrace:
         for r in records:
             self.append(r)
 
+    def append_coalesced(self, record: Record) -> None:
+        """Append, merging a CpuBurst into a trailing CpuBurst.
+
+        Trace builders (the tracer, synthetic app generators) call this
+        instead of :meth:`append` so back-to-back computation never
+        produces runs of adjacent bursts — every burst the replay
+        simulator walks is maximal, which keeps the per-record dispatch
+        loop short.  Instruction counts are summed when both sides carry
+        them; metadata dictionaries are merged (later keys win).
+        """
+        if (
+            type(record) is CpuBurst
+            and self.records
+            and type(self.records[-1]) is CpuBurst
+        ):
+            prev = self.records[-1]
+            instructions = (
+                prev.instructions + record.instructions
+                if prev.instructions is not None and record.instructions is not None
+                else None
+            )
+            merged = CpuBurst(
+                prev.duration + record.duration,
+                instructions=instructions,
+                meta={**prev.meta, **record.meta},
+            )
+            self.records[-1] = merged
+            self._starts_cache = None
+        else:
+            self.append(record)
+
     # -- virtual-time bookkeeping ---------------------------------------------
     def virtual_starts(self) -> np.ndarray:
         """Virtual start time of every record (shape ``(len+1,)``).

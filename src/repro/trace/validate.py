@@ -10,7 +10,7 @@ transformation validate their outputs in tests.
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict, deque
+from collections import defaultdict, deque
 from dataclasses import dataclass, field
 
 from .records import (

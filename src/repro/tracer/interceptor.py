@@ -68,7 +68,9 @@ class TracingObserver(Observer):
     ) -> None:
         self._icount = start_icount + instructions
         if instructions > 0:
-            self.trace.append(
+            # Coalesced at build time: back-to-back compute calls emit
+            # one maximal burst, keeping replay's record walk short.
+            self.trace.append_coalesced(
                 CpuBurst(self.clock.seconds(instructions), instructions=instructions)
             )
         for batch in loads:

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.ideal import ideal_transform
-from repro.core.transform import OverlapConfig, overlap_transform
+from repro.core.transform import overlap_transform
 from repro.dimemas.machine import MachineConfig
 from repro.dimemas.replay import simulate
 from repro.trace.records import CHANNEL_CHUNK, CpuBurst, ISend, Wait
@@ -49,7 +49,7 @@ class TestUniformDistribution:
 
     def test_ideal_table_rows_from_construction(self):
         """An app built with linear anchors measures as the ideal rows."""
-        from repro.core.patterns import consumption_table, production_table
+        from repro.core.patterns import production_table
         app = make_pipeline_app(elements=1000, iterations=2,
                                 prod=[(0.0, 0.0), (1.0, 1.0)],
                                 cons=[(0.0, 0.0), (1.0, 1.0)])

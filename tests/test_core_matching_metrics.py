@@ -1,13 +1,10 @@
 """Tests of static message matching and comparison metrics."""
 
-import math
-
 import pytest
 
 from repro.core.matching import MessagePair, UnmatchedMessageError, match_messages
 from repro.core.metrics import Comparison, improvement_percent, speedup
 from repro.trace.records import (
-    CpuBurst,
     IRecv,
     ISend,
     ProcessTrace,

@@ -6,15 +6,13 @@ import pytest
 from repro.core.matching import match_messages
 from repro.core.transform import OverlapConfig, chunk_sub, overlap_transform
 from repro.core.ideal import ideal_transform
-from repro.dimemas import MachineConfig, simulate
+from repro.dimemas import simulate
 from repro.trace.records import (
     CHANNEL_CHUNK,
     CpuBurst,
-    IRecv,
     ISend,
     Recv,
     Send,
-    Wait,
 )
 from repro.trace.validate import validate
 from repro.tracer import run_traced

@@ -1,7 +1,5 @@
 """Unit tests of the analytic collective cost model."""
 
-import math
-
 import pytest
 
 from repro.dimemas.collectives import collective_cost, collective_steps

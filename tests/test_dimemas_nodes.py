@@ -4,7 +4,7 @@ import pytest
 
 from repro.dimemas.machine import MachineConfig
 from repro.dimemas.replay import simulate
-from repro.trace.records import CpuBurst, ProcessTrace, Recv, Send, TraceSet
+from repro.trace.records import ProcessTrace, Recv, Send, TraceSet
 
 US = 1e-6
 

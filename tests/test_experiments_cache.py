@@ -1,10 +1,12 @@
-"""Tests of the on-disk trace cache."""
+"""Tests of the on-disk trace and replay-result caches."""
 
-import pytest
+import dataclasses
+import multiprocessing
 
-from repro.experiments.cache import TraceCache
+from repro.experiments.cache import SimResultCache, TraceCache, trace_digest
 from repro.experiments.pipeline import AppExperiment
 from repro.dimemas.machine import MachineConfig
+from repro.dimemas.replay import simulate
 from repro.trace import dim
 
 
@@ -68,3 +70,147 @@ class TestExperimentIntegration:
         )
         e.trace("original")
         assert len(cache) == 0
+
+    def test_experiment_sim_cache_across_instances(self, tmp_path):
+        sim_cache = SimResultCache(tmp_path)
+        kwargs = dict(
+            app_params=dict(n=2000, iterations=1),
+            machine=MachineConfig.paper_testbed("cg"),
+            sim_cache=sim_cache,
+        )
+        e1 = AppExperiment("cg", nranks=4, **kwargs)
+        d1 = e1.duration("original")
+        e2 = AppExperiment("cg", nranks=4, **kwargs)
+        d2 = e2.duration("original")
+        assert sim_cache.misses == 1 and sim_cache.hits == 1
+        assert d1 == d2  # exact: floats round-trip through JSON
+
+    def test_warm_hit_skips_trace_building(self, tmp_path):
+        sim_cache = SimResultCache(tmp_path)
+        kwargs = dict(
+            app_params=dict(n=2000, iterations=1),
+            machine=MachineConfig.paper_testbed("cg"),
+            sim_cache=sim_cache,
+        )
+        e1 = AppExperiment("cg", nranks=4, **kwargs)
+        d1 = e1.duration("original")
+        # the spec->digest index lets a fresh instance answer from the
+        # cache without tracing or transforming anything
+        e2 = AppExperiment("cg", nranks=4, **kwargs)
+        d2 = e2.duration("original")
+        assert d2 == d1
+        assert e2._traces == {}
+
+    def test_platform_variations_get_distinct_entries(self, tmp_path):
+        sim_cache = SimResultCache(tmp_path)
+        e = AppExperiment(
+            "cg", nranks=4, app_params=dict(n=2000, iterations=1),
+            machine=MachineConfig.paper_testbed("cg"), sim_cache=sim_cache,
+        )
+        d250 = e.duration("original")
+        d100 = e.duration("original", bandwidth_mbps=100.0)
+        assert d100 != d250
+        assert len(sim_cache) == 2
+
+
+def _race_builder():
+    from repro.tracer.tracefile import run_traced
+    from tests.conftest import make_pipeline_app
+    return run_traced(make_pipeline_app(elements=16, iterations=2),
+                      2, mips=1000.0).trace
+
+
+def _race_worker(directory: str, barrier, q) -> None:
+    cache = TraceCache(directory)
+    key = cache.key(app="race", n=2)
+    barrier.wait()  # maximize the chance both processes build+publish
+    trace = cache.load_or_build(key, _race_builder)
+    q.put(dim.dumps(trace))
+
+
+class TestConcurrentWriters:
+    def test_two_processes_same_key(self, tmp_path):
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(2)
+        q = ctx.Queue()
+        procs = [
+            ctx.Process(target=_race_worker, args=(str(tmp_path), barrier, q))
+            for _ in range(2)
+        ]
+        for p in procs:
+            p.start()
+        outs = [q.get(timeout=120) for _ in range(2)]
+        for p in procs:
+            p.join(timeout=120)
+            assert p.exitcode == 0
+        # both writers succeed with identical content; the published
+        # file is complete and no temp files leak
+        assert outs[0] == outs[1]
+        files = list(tmp_path.glob("*.dim"))
+        assert len(files) == 1
+        assert files[0].read_text() == outs[0]
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestSimResultCache:
+    def test_miss_then_hit_exact_roundtrip(self, tmp_path, pipeline_trace,
+                                           machine):
+        cache = SimResultCache(tmp_path)
+        cache.load_or_simulate(pipeline_trace, machine)
+        restored = cache.load_or_simulate(pipeline_trace, machine)
+        assert cache.misses == 1 and cache.hits == 1
+        fresh = simulate(pipeline_trace, machine)
+        assert restored.duration == fresh.duration
+        assert restored.rank_end == fresh.rank_end
+        assert restored.states == fresh.states
+        assert restored.messages == fresh.messages
+        assert restored.events == fresh.events
+
+    def test_key_sensitive_to_every_machine_field(self, pipeline_trace):
+        base = MachineConfig()
+        variations = dict(
+            bandwidth_mbps=100.0, latency=1e-5, buses=4, input_ports=2,
+            output_ports=2, cpu_ratio=2.0, cores_per_node=2,
+            intra_latency=2e-6, intra_bandwidth_mbps=1000.0,
+            eager_threshold=1024, collective_model_factor=2.0,
+        )
+        # the variation list covers the whole platform: adding a new
+        # MachineConfig knob must extend this test
+        assert set(variations) == {
+            f.name for f in dataclasses.fields(MachineConfig)
+        }
+        keys = {SimResultCache.key(pipeline_trace, base)}
+        for name, value in variations.items():
+            keys.add(SimResultCache.key(
+                pipeline_trace, dataclasses.replace(base, **{name: value}),
+            ))
+        assert len(keys) == len(variations) + 1
+
+    def test_key_sensitive_to_trace_content(self, pipeline_trace, machine):
+        from repro.tracer.tracefile import run_traced
+        from tests.conftest import make_pipeline_app
+        other = run_traced(make_pipeline_app(iterations=2), 4,
+                           mips=1000.0).trace
+        assert SimResultCache.key(pipeline_trace, machine) != \
+            SimResultCache.key(other, machine)
+
+    def test_runner_hook_and_clear(self, tmp_path, pipeline_trace, machine):
+        cache = SimResultCache(tmp_path)
+        calls = []
+
+        def runner(trace, m):
+            calls.append(1)
+            return simulate(trace, m)
+
+        cache.load_or_simulate(pipeline_trace, machine, runner=runner)
+        cache.load_or_simulate(pipeline_trace, machine, runner=runner)
+        assert calls == [1]
+        assert len(cache) == 1
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+    def test_trace_digest_stable(self, pipeline_trace):
+        d1 = trace_digest(pipeline_trace)
+        d2 = trace_digest(pipeline_trace)  # memoized path
+        assert d1 == d2
+        assert len(d1) == 24

@@ -1,0 +1,298 @@
+"""Tests of the parallel experiment engine and the batched bisection."""
+
+import math
+
+import pytest
+
+from repro.dimemas.machine import MachineConfig
+from repro.experiments.bandwidth import (
+    NonMonotonePredicateError,
+    bisect_bandwidth,
+    bisect_bandwidth_batched,
+    equivalent_bandwidth,
+    relaxation_bandwidth,
+)
+from repro.experiments.parallel import (
+    ExperimentEngine,
+    GridPoint,
+    expand_grid,
+    speedup_grid,
+)
+from repro.experiments.pipeline import AppExperiment
+
+#: A tiny Sweep3D instance so traces build in milliseconds.
+TINY = dict(nx=8, ny=8, nz=4, mk=2, angle_block=2, iterations=1)
+
+
+def tiny_exp(nranks=4):
+    return AppExperiment("sweep3d", nranks=nranks, app_params=TINY)
+
+
+def tiny_points():
+    return expand_grid(
+        ["sweep3d"],
+        variants=("original", "real"),
+        bandwidths=(None, 100.0),
+        nranks=4,
+        app_params=TINY,
+    )
+
+
+class TestGridPoint:
+    def test_hashable_and_picklable(self):
+        import pickle
+
+        p = GridPoint(app="cg", bandwidth_mbps=100.0, app_params=(("n", 4),))
+        assert hash(p) == hash(pickle.loads(pickle.dumps(p)))
+
+    def test_experiment_key_ignores_platform_overrides(self):
+        a = GridPoint(app="cg", bandwidth_mbps=100.0, buses=4)
+        b = GridPoint(app="cg", bandwidth_mbps=500.0, buses=1)
+        assert a.experiment_key() == b.experiment_key()
+        c = GridPoint(app="cg", nranks=8)
+        assert a.experiment_key() != c.experiment_key()
+
+    def test_expand_grid_is_full_product(self):
+        pts = expand_grid(
+            ["cg", "bt"], variants=("original", "real"),
+            bandwidths=(100.0, 250.0), buses=("default", 4),
+        )
+        assert len(pts) == 2 * 2 * 2 * 2
+        assert len(set(pts)) == len(pts)
+
+
+class TestEngineSerial:
+    def test_durations_match_direct_experiment(self):
+        exp = tiny_exp()
+        eng = ExperimentEngine(jobs=1)
+        pts = tiny_points()
+        expected = [
+            exp.duration(p.variant, bandwidth_mbps=p.bandwidth_mbps)
+            for p in pts
+        ]
+        assert eng.durations(pts) == expected
+
+    def test_run_grid_returns_results_in_input_order(self):
+        eng = ExperimentEngine(jobs=1)
+        pts = tiny_points()
+        results = eng.run_grid(pts)
+        assert [r.duration for r in results] == eng.durations(pts)
+
+    def test_experiment_reuse(self):
+        eng = ExperimentEngine(jobs=1)
+        pts = tiny_points()
+        eng.durations(pts)
+        # all four points share one traced experiment bundle
+        assert len(eng._experiments) == 1
+
+    def test_jobs_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentEngine(jobs=0)
+
+
+class TestEngineParallel:
+    def test_parallel_identical_to_serial(self, tmp_path):
+        pts = tiny_points()
+        serial = ExperimentEngine(jobs=1).durations(pts)
+        with ExperimentEngine(jobs=2, cache_dir=tmp_path) as eng:
+            assert eng.durations(pts) == serial
+            # second pass is answered from the persistent cache
+            assert eng.durations(pts) == serial
+            assert [r.duration for r in eng.run_grid(pts)] == serial
+
+    def test_speedup_grid_matches_experiment_speedups(self):
+        # engine-side grid vs the AppExperiment memoized path
+        eng = ExperimentEngine(jobs=1)
+        exp = AppExperiment("sweep3d", nranks=4, app_params=TINY)
+        pts = [
+            GridPoint(app="sweep3d", variant=v, nranks=4,
+                      app_params=tuple(sorted(TINY.items())))
+            for v in ("original", "real", "ideal")
+        ]
+        d0, dr, di = eng.durations(pts)
+        s = exp.speedups()
+        assert d0 / dr == pytest.approx(s["real"])
+        assert d0 / di == pytest.approx(s["ideal"])
+
+    def test_speedup_grid_shape(self):
+        with ExperimentEngine(jobs=1) as eng:
+            exp = tiny_exp()
+            pt = eng.point_for(exp)
+            eng._experiments[pt.experiment_key()] = exp
+            out = speedup_grid(eng, ["sweep3d"], nranks=4, chunks=4)
+        # the engine-built experiment uses default app params, so only
+        # check the contract: both ratios present and positive
+        assert set(out) == {"sweep3d"}
+        assert out["sweep3d"]["real"] > 0
+        assert out["sweep3d"]["ideal"] > 0
+
+
+class TestBisectEdgeCases:
+    def test_lo_equals_hi_satisfied(self):
+        assert bisect_bandwidth(lambda bw: True, lo=10.0, hi=10.0) == 10.0
+
+    def test_lo_equals_hi_unsatisfied(self):
+        assert math.isinf(bisect_bandwidth(lambda bw: False, lo=10.0, hi=10.0))
+
+    def test_invalid_brackets(self):
+        with pytest.raises(ValueError):
+            bisect_bandwidth(lambda bw: True, lo=-1.0, hi=10.0)
+        with pytest.raises(ValueError):
+            bisect_bandwidth(lambda bw: True, lo=10.0, hi=1.0)
+        with pytest.raises(ValueError):
+            bisect_bandwidth(lambda bw: True, rel_tol=0.0)
+
+    def test_rel_tol_convergence(self):
+        # the returned value satisfies the predicate and overestimates
+        # the true threshold by at most rel_tol
+        thr = 73.19
+        for tol in (0.1, 0.01, 0.001):
+            got = bisect_bandwidth(lambda bw: bw >= thr, rel_tol=tol)
+            assert got >= thr
+            assert got <= thr * (1 + tol) * (1 + 1e-12)
+
+    def test_unsatisfiable_returns_inf(self):
+        assert math.isinf(bisect_bandwidth(lambda bw: False))
+
+    def test_always_satisfied_returns_lo(self):
+        assert bisect_bandwidth(lambda bw: True, lo=3.0) == 3.0
+
+
+class TestBatchedBisect:
+    @pytest.mark.parametrize("thr", [0.3, 1.0, 5.0, 123.456, 9999.0, 127999.0])
+    @pytest.mark.parametrize("batch", [1, 3, 7, 15])
+    def test_bitwise_identical_to_sequential(self, thr, batch):
+        seq = bisect_bandwidth(lambda bw: bw >= thr)
+        bat = bisect_bandwidth_batched(
+            lambda bws: [bw >= thr for bw in bws], batch=batch,
+        )
+        assert seq == bat  # exact float equality, not approx
+
+    def test_identical_under_rel_tol_variations(self):
+        thr = 42.0
+        for tol in (0.1, 0.01, 0.001):
+            seq = bisect_bandwidth(lambda bw: bw >= thr, rel_tol=tol)
+            bat = bisect_bandwidth_batched(
+                lambda bws: [bw >= thr for bw in bws], rel_tol=tol,
+            )
+            assert seq == bat
+
+    def test_lo_equals_hi(self):
+        assert bisect_bandwidth_batched(
+            lambda bws: [True] * len(bws), lo=10.0, hi=10.0,
+        ) == 10.0
+        assert math.isinf(bisect_bandwidth_batched(
+            lambda bws: [False] * len(bws), lo=10.0, hi=10.0,
+        ))
+
+    def test_non_monotone_raises(self):
+        # true above 5 MB/s except a hole at [25, 40]: the speculative
+        # tree of the first round probes both flanks of the hole
+        # (~5.6 true, ~31.6 false) and detects the violation
+        def holey_many(bws):
+            return [bw >= 5.0 and not (25.0 <= bw <= 40.0) for bw in bws]
+
+        with pytest.raises(NonMonotonePredicateError):
+            bisect_bandwidth_batched(holey_many, lo=1.0, hi=1000.0, batch=7)
+
+    def test_non_monotone_at_bracket_raises(self):
+        def inverted(bws):
+            return [bw <= 10.0 for bw in bws]
+
+        with pytest.raises(NonMonotonePredicateError):
+            bisect_bandwidth_batched(inverted, lo=1.0, hi=1000.0)
+
+    def test_wrong_answer_count_raises(self):
+        with pytest.raises(ValueError):
+            bisect_bandwidth_batched(lambda bws: [True], lo=1.0, hi=1000.0)
+
+    def test_fewer_rounds_than_sequential_probes(self):
+        calls = {"seq": 0, "bat": 0}
+
+        def pred(bw):
+            calls["seq"] += 1
+            return bw >= 50.0
+
+        def pred_many(bws):
+            calls["bat"] += 1
+            return [bw >= 50.0 for bw in bws]
+
+        bisect_bandwidth(pred)
+        bisect_bandwidth_batched(pred_many, batch=7)
+        # 7-probe batches descend 3 levels per round: far fewer rounds
+        assert calls["bat"] < calls["seq"] / 2
+
+
+class TestEngineBackedSearches:
+    def test_relaxation_identical(self, tmp_path):
+        exp = tiny_exp()
+        seq = relaxation_bandwidth(exp)
+        with ExperimentEngine(jobs=2, cache_dir=tmp_path) as eng:
+            bat = relaxation_bandwidth(tiny_exp(), engine=eng)
+        assert seq == bat
+
+    def test_equivalent_identical(self, tmp_path):
+        exp = tiny_exp()
+        seq = equivalent_bandwidth(exp)
+        with ExperimentEngine(jobs=2, cache_dir=tmp_path) as eng:
+            bat = equivalent_bandwidth(tiny_exp(), engine=eng)
+        assert seq == bat
+
+    def test_serial_engine_reuses_experiment_memo(self):
+        exp = tiny_exp()
+        eng = ExperimentEngine(jobs=1)
+        pred = eng.duration_predicate_many(
+            exp, "real", exp.duration("original"),
+        )
+        before = len(exp._sims)
+        pred([100.0, 200.0])
+        # serial predicate goes through the experiment's own memo
+        assert len(exp._sims) >= before + 2
+
+
+class TestEngineWiredHelpers:
+    def test_calibration_and_sweeps_identical(self):
+        from repro.experiments.calibration import (
+            bus_sensitivity, calibrate_buses, saturation_knee,
+        )
+        from repro.experiments.sweeps import bandwidth_sweep, latency_sweep
+
+        exp = tiny_exp()
+        with ExperimentEngine(jobs=2) as eng:
+            assert bus_sensitivity(exp, [1, 2, 4]) == \
+                bus_sensitivity(exp, [1, 2, 4], engine=eng)
+            assert saturation_knee(exp, max_buses=8) == \
+                saturation_knee(exp, max_buses=8, engine=eng)
+            ref = exp.duration("original", buses=4)
+            assert calibrate_buses(exp, ref, max_buses=8) == \
+                calibrate_buses(exp, ref, max_buses=8, engine=eng)
+            assert bandwidth_sweep(exp, [100.0, 250.0]) == \
+                bandwidth_sweep(exp, [100.0, 250.0], engine=eng)
+            assert latency_sweep(exp, [1e-6, 8e-6]) == \
+                latency_sweep(exp, [1e-6, 8e-6], engine=eng)
+
+    def test_scaling_study_identical(self):
+        from repro.experiments.scaling import scaling_study
+
+        serial = scaling_study("sweep3d", rank_counts=(2, 4), app_params=TINY)
+        with ExperimentEngine(jobs=2) as eng:
+            parallel = scaling_study(
+                "sweep3d", rank_counts=(2, 4), app_params=TINY, engine=eng,
+            )
+        assert serial == parallel
+
+
+class TestWithPlatform:
+    def test_no_overrides_returns_self(self):
+        m = MachineConfig()
+        assert m.with_platform() is m
+
+    def test_overrides_replace_fields(self):
+        m = MachineConfig()
+        m2 = m.with_platform(bandwidth_mbps=500.0, buses=4)
+        assert m2.bandwidth_mbps == 500.0 and m2.buses == 4
+        assert m.bandwidth_mbps == 250.0 and m.buses is None
+
+    def test_validation_reruns(self):
+        with pytest.raises(ValueError):
+            MachineConfig().with_platform(bandwidth_mbps=-1.0)

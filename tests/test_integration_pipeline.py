@@ -5,18 +5,17 @@ overlap transformation, replay, visualization — and check the
 invariants the methodology rests on.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.apps.synthetic import HaloExchange2D, PingPong, Pipeline1D, ReduceLoop
 from repro.core.ideal import ideal_transform
-from repro.core.transform import OverlapConfig, overlap_transform
+from repro.core.transform import overlap_transform
 from repro.dimemas.machine import MachineConfig
 from repro.dimemas.replay import simulate
 from repro.trace import dim
-from repro.trace.records import ISend, Recv, Send
+from repro.trace.records import ISend, Send
 from repro.trace.validate import validate
 
 CFG = MachineConfig(bandwidth_mbps=100.0, latency=8e-6, buses=4)

@@ -6,7 +6,6 @@ import pytest
 from repro.smpi import (
     ANY_SOURCE,
     ANY_TAG,
-    Comm,
     DeadlockError,
     Observer,
     RankFailedError,

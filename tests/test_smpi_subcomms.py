@@ -1,13 +1,12 @@
 """Tests of sub-communicators (``comm.split``) end to end."""
 
 import numpy as np
-import pytest
 
 from repro.core.transform import overlap_transform
 from repro.dimemas.machine import MachineConfig
 from repro.dimemas.replay import simulate
 from repro.smpi import Runtime
-from repro.trace.records import CHANNEL_COLLECTIVE, GlobalOp, ISend, Send
+from repro.trace.records import GlobalOp, ISend, Send
 from repro.trace.validate import validate
 from repro.tracer import run_traced
 

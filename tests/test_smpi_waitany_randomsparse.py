@@ -1,6 +1,5 @@
 """Tests of waitany/testall and the RandomSparse fuzz application."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -5,7 +5,7 @@ import numpy as np
 import pytest
 
 from repro.core.ideal import ideal_transform
-from repro.core.transform import OverlapConfig, overlap_transform
+from repro.core.transform import overlap_transform
 from repro.dimemas.machine import MachineConfig
 from repro.dimemas.replay import simulate
 from repro.smpi import Runtime

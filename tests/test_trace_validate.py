@@ -4,7 +4,6 @@ import pytest
 
 from repro.trace.records import (
     CollOp,
-    CpuBurst,
     GlobalOp,
     IRecv,
     ISend,
