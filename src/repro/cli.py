@@ -14,19 +14,45 @@ Four entry points mirror the tool chain of paper Figure 3:
 from __future__ import annotations
 
 import argparse
+import functools
 import sys
 
 from .apps import APPS, get_app
 from .core.ideal import ideal_transform
 from .core.transform import OverlapConfig, overlap_transform
 from .dimemas.machine import MachineConfig
-from .dimemas.replay import simulate
+from .dimemas.replay import DeadlockError, SimulationTimeout, simulate
 from .paraver.gantt import render_gantt
 from .paraver.stats import comm_stats, profile_table
 from .trace import dim, prv
 
 __all__ = ["main_analyze", "main_overlap", "main_report", "main_simulate",
            "main_trace"]
+
+#: CLI exit codes for diagnosed replay failures (0 ok, 2 argparse).
+EXIT_DEADLOCK = 3
+EXIT_TIMEOUT = 4
+EXIT_INTERRUPTED = 130
+
+
+def _interruptible(fn):
+    """Turn Ctrl-C into a clean exit instead of a stack trace.
+
+    Cleanup of pools and staging temp files happens where the resources
+    live (``full_report`` tears its engine down on the way out); this
+    wrapper only standardizes the user-visible behavior: a one-line
+    notice on stderr and the conventional 128+SIGINT exit status.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(argv: list[str] | None = None) -> int:
+        try:
+            return fn(argv)
+        except KeyboardInterrupt:
+            print("interrupted", file=sys.stderr)
+            return EXIT_INTERRUPTED
+
+    return wrapper
 
 
 def _machine_args(ap: argparse.ArgumentParser) -> None:
@@ -38,6 +64,12 @@ def _machine_args(ap: argparse.ArgumentParser) -> None:
                     help="global bus count (0 = unlimited)")
     ap.add_argument("--cpu-ratio", type=float, default=1.0,
                     help="CPU time scaling of computation bursts")
+    ap.add_argument("--max-events", type=int, default=None,
+                    help="watchdog: abort the replay after this many "
+                         "simulation events (default: unlimited)")
+    ap.add_argument("--max-sim-time", type=float, default=None,
+                    help="watchdog: abort when simulated time exceeds "
+                         "this many seconds (default: unlimited)")
 
 
 def _machine(args: argparse.Namespace) -> MachineConfig:
@@ -46,9 +78,31 @@ def _machine(args: argparse.Namespace) -> MachineConfig:
         latency=args.latency,
         buses=args.buses or None,
         cpu_ratio=args.cpu_ratio,
+        max_events=args.max_events,
+        max_sim_time=args.max_sim_time,
     )
 
 
+def _replay(trace, machine):
+    """Run :func:`simulate`, printing a post-mortem on failure.
+
+    Returns ``(result, exit_code)``; ``result`` is None when the replay
+    deadlocked (exit 3) or tripped the watchdog (exit 4).
+    """
+    try:
+        return simulate(trace, machine), 0
+    except DeadlockError as exc:
+        print("replay deadlocked; post-mortem:", file=sys.stderr)
+        print(exc.report.render(), file=sys.stderr)
+        return None, EXIT_DEADLOCK
+    except SimulationTimeout as exc:
+        print(f"replay watchdog expired ({exc.reason}); post-mortem:",
+              file=sys.stderr)
+        print(exc.report.render(), file=sys.stderr)
+        return None, EXIT_TIMEOUT
+
+
+@_interruptible
 def main_trace(argv: list[str] | None = None) -> int:
     """``repro-trace APP -n RANKS -o trace.dim``"""
     ap = argparse.ArgumentParser(
@@ -73,6 +127,7 @@ def main_trace(argv: list[str] | None = None) -> int:
     return 0
 
 
+@_interruptible
 def main_overlap(argv: list[str] | None = None) -> int:
     """``repro-overlap trace.dim -o overlapped.dim [--ideal]``"""
     ap = argparse.ArgumentParser(
@@ -105,6 +160,7 @@ def main_overlap(argv: list[str] | None = None) -> int:
     return 0
 
 
+@_interruptible
 def main_simulate(argv: list[str] | None = None) -> int:
     """``repro-simulate trace.dim [--gantt] [--prv out.prv]``"""
     ap = argparse.ArgumentParser(
@@ -124,7 +180,9 @@ def main_simulate(argv: list[str] | None = None) -> int:
     args = ap.parse_args(argv)
 
     trace = dim.load(args.trace)
-    result = simulate(trace, _machine(args))
+    result, code = _replay(trace, _machine(args))
+    if result is None:
+        return code
     print(f"simulated {result.nranks} ranks: makespan {result.duration * 1e6:.1f} us, "
           f"{len(result.messages)} messages, "
           f"parallel efficiency {result.parallel_efficiency * 100:.1f}%")
@@ -147,6 +205,7 @@ def main_simulate(argv: list[str] | None = None) -> int:
     return 0
 
 
+@_interruptible
 def main_analyze(argv: list[str] | None = None) -> int:
     """``repro-analyze trace.dim`` — patterns, stats, phase headroom.
 
@@ -192,7 +251,9 @@ def main_analyze(argv: list[str] | None = None) -> int:
 
     if args.simulate:
         from .paraver.critical import critical_path, render_path
-        result = simulate(trace, _machine(args))
+        result, code = _replay(trace, _machine(args))
+        if result is None:
+            return code
         print(f"\nreplay: makespan {result.duration * 1e6:.1f} us, "
               f"efficiency {result.parallel_efficiency * 100:.1f}%")
         print(profile_table(result))
@@ -201,6 +262,7 @@ def main_analyze(argv: list[str] | None = None) -> int:
     return 0
 
 
+@_interruptible
 def main_report(argv: list[str] | None = None) -> int:
     """``repro-report [--nranks N] [--no-bandwidth] [-j N] [--cache-dir D]``"""
     ap = argparse.ArgumentParser(

@@ -22,6 +22,7 @@ __all__ = [
     "MessagePair",
     "match_messages",
     "match_messages_cached",
+    "match_messages_lenient",
     "UnmatchedMessageError",
 ]
 
@@ -62,6 +63,24 @@ def match_messages(trace: TraceSet, strict: bool = True) -> list[MessagePair]:
     left unpaired; otherwise unpaired records are silently dropped
     (useful for partial traces).
     """
+    pairs, leftovers = match_messages_lenient(trace)
+    if leftovers and strict:
+        raise UnmatchedMessageError(
+            "unmatched point-to-point records:\n" + "\n".join(leftovers[:10])
+        )
+    return pairs
+
+
+def match_messages_lenient(trace: TraceSet) -> tuple[list[MessagePair], list[str]]:
+    """Pair what can be paired; describe what cannot.
+
+    Returns ``(pairs, leftovers)`` where ``leftovers`` lists every
+    matching key with mismatched send/receive counts.  The replay
+    simulator uses this on malformed traces so a dropped or corrupted
+    record surfaces as a *diagnosable deadlock* (the orphaned endpoint
+    blocks forever and the post-mortem names it) instead of an abort
+    before the replay even starts.
+    """
     sends: dict[tuple, deque] = defaultdict(deque)
     recvs: dict[tuple, deque] = defaultdict(deque)
 
@@ -89,14 +108,13 @@ def match_messages(trace: TraceSet, strict: bool = True) -> list[MessagePair]:
                 )
             )
         if len(s) != len(r):
-            leftovers.append(f"key {key}: {len(s)} sends vs {len(r)} recvs")
+            leftovers.append(
+                f"src={key[0]} dst={key[1]} context={key[2]} channel={key[3]} "
+                f"tag={key[4]} sub={key[5]}: {len(s)} send(s) vs {len(r)} recv(s)"
+            )
 
-    if leftovers and strict:
-        raise UnmatchedMessageError(
-            "unmatched point-to-point records:\n" + "\n".join(leftovers[:10])
-        )
     pairs.sort(key=lambda p: (p.src, p.send_index))
-    return pairs
+    return pairs, leftovers
 
 
 #: Per-TraceSet memo of strict matchings, guarded by per-rank record

@@ -1,13 +1,22 @@
 """Trace-driven replay simulator (the framework's Dimemas stage)."""
 
-from .engine import EventLoop, SimulationStalledError
+from .engine import EventLoop, SimulationStalledError, WatchdogExpired
 from .machine import MB, MachineConfig, PAPER_BANDWIDTH_MBPS, PAPER_BUSES
 from .network import Network, Transfer
+from .postmortem import (
+    BlockedOp,
+    DeadlockError,
+    DeadlockReport,
+    PendingMessage,
+    SimulationTimeout,
+)
 from .replay import ReplayError, simulate
 from .results import MessageFlight, STATE_NAMES, SimResult
 
 __all__ = [
-    "EventLoop", "MB", "MachineConfig", "MessageFlight", "Network",
-    "PAPER_BANDWIDTH_MBPS", "PAPER_BUSES", "ReplayError", "STATE_NAMES",
-    "SimResult", "SimulationStalledError", "Transfer", "simulate",
+    "BlockedOp", "DeadlockError", "DeadlockReport", "EventLoop", "MB",
+    "MachineConfig", "MessageFlight", "Network", "PAPER_BANDWIDTH_MBPS",
+    "PAPER_BUSES", "PendingMessage", "ReplayError", "STATE_NAMES",
+    "SimResult", "SimulationStalledError", "SimulationTimeout", "Transfer",
+    "WatchdogExpired", "simulate",
 ]

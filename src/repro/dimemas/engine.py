@@ -13,11 +13,29 @@ import heapq
 import math
 from typing import Callable
 
-__all__ = ["EventLoop", "SimulationStalledError"]
+__all__ = ["EventLoop", "SimulationStalledError", "WatchdogExpired"]
 
 
 class SimulationStalledError(RuntimeError):
     """The event queue drained while simulated processes were still blocked."""
+
+
+class WatchdogExpired(RuntimeError):
+    """:meth:`EventLoop.run` hit its event or simulated-time budget.
+
+    The loop state (``now``, ``executed``, pending events) is left
+    intact, so callers can build a post-mortem of the in-flight
+    simulation before surfacing the failure.
+    """
+
+    def __init__(self, reason: str, now: float, executed: int):
+        self.reason = reason
+        self.now = now
+        self.executed = executed
+        super().__init__(
+            f"event-loop watchdog expired ({reason}) at t={now:.9g}s "
+            f"after {executed} event(s)"
+        )
 
 
 class EventLoop:
@@ -48,9 +66,26 @@ class EventLoop:
             raise ValueError(f"negative delay: {delay}")
         self.at(self.now + delay, fn)
 
-    def run(self) -> float:
-        """Execute events until the queue drains; returns the final time."""
+    def run(
+        self,
+        max_events: int | None = None,
+        max_time: float | None = None,
+    ) -> float:
+        """Execute events until the queue drains; returns the final time.
+
+        ``max_events`` / ``max_time`` are watchdog budgets: exceeding
+        either raises :class:`WatchdogExpired` instead of looping
+        forever, converting a runaway simulation (livelock, pathological
+        platform, malformed trace) into a diagnosable failure.  The
+        budget is checked *before* executing each event, so the loop
+        never runs an event past the limit.
+        """
+        budget = math.inf if max_events is None else self.executed + max_events
         while self._heap:
+            if self.executed >= budget:
+                raise WatchdogExpired("max_events", self.now, self.executed)
+            if max_time is not None and self._heap[0][0] > max_time:
+                raise WatchdogExpired("max_sim_time", self.now, self.executed)
             time, _, fn = heapq.heappop(self._heap)
             self.now = time
             self.executed += 1

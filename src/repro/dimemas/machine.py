@@ -76,6 +76,15 @@ class MachineConfig:
     collective_model_factor:
         Multiplier of the analytic collective cost model (only used for
         :class:`~repro.trace.records.GlobalOp` records).
+    max_events:
+        Watchdog: abort the replay with a
+        :class:`~repro.dimemas.postmortem.SimulationTimeout` after this
+        many executed events (None = unlimited).  A defence against
+        runaway simulations on pathological platforms or corrupt
+        traces; healthy replays execute a few events per trace record.
+    max_sim_time:
+        Watchdog: abort once the simulated clock would pass this many
+        seconds (None = unlimited).
     """
 
     bandwidth_mbps: float = PAPER_BANDWIDTH_MBPS
@@ -89,6 +98,8 @@ class MachineConfig:
     intra_bandwidth_mbps: float | None = None
     eager_threshold: int = 65536
     collective_model_factor: float = 1.0
+    max_events: int | None = None
+    max_sim_time: float | None = None
 
     def __post_init__(self) -> None:
         if self.bandwidth_mbps <= 0:
@@ -109,6 +120,12 @@ class MachineConfig:
             raise ValueError("intra_bandwidth_mbps must be positive or None")
         if self.eager_threshold < 0:
             raise ValueError("eager_threshold must be >= 0")
+        if self.max_events is not None and self.max_events < 1:
+            raise ValueError(f"max_events must be >= 1 or None, got {self.max_events}")
+        if self.max_sim_time is not None and self.max_sim_time <= 0:
+            raise ValueError(
+                f"max_sim_time must be positive or None, got {self.max_sim_time}"
+            )
 
     @property
     def bandwidth(self) -> float:

@@ -55,7 +55,11 @@ from __future__ import annotations
 import weakref
 from typing import Callable
 
-from ..core.matching import match_messages_cached
+from ..core.matching import (
+    UnmatchedMessageError,
+    match_messages_cached,
+    match_messages_lenient,
+)
 from ..trace.records import (
     CpuBurst,
     Event,
@@ -68,12 +72,18 @@ from ..trace.records import (
     Wait,
 )
 from .collectives import collective_cost
-from .engine import EventLoop
+from .engine import EventLoop, WatchdogExpired
 from .machine import MachineConfig
 from .network import Network, Transfer
+from .postmortem import (
+    DeadlockError,
+    ReplayError,
+    SimulationTimeout,
+    build_report,
+)
 from .results import MessageFlight, SimResult
 
-__all__ = ["ReplayError", "simulate"]
+__all__ = ["DeadlockError", "ReplayError", "SimulationTimeout", "simulate"]
 
 _EPS = 1e-15
 
@@ -98,10 +108,6 @@ _OPCODE_OF: dict[type, int] = {
     Wait: _OP_WAIT,
     GlobalOp: _OP_COLL,
 }
-
-
-class ReplayError(RuntimeError):
-    """Replay could not complete (stalled ranks, malformed trace)."""
 
 
 class _CollectiveSync:
@@ -213,7 +219,23 @@ class _RankRunner:
                 return
 
             if op == _OP_SEND or op == _OP_ISEND:
-                tr = sim.send_at[(self.rank, idx)]
+                tr = sim.send_at.get((self.rank, idx))
+                if tr is None:
+                    # Unmatched send (malformed trace): no receive will
+                    # ever pair with it.  Eager sends complete locally
+                    # (buffered, like MPI); a rendezvous Send blocks
+                    # forever and the post-mortem names it.  An ISend's
+                    # dangling request is caught at its Wait.
+                    rendezvous = (
+                        rec.rendezvous
+                        if rec.rendezvous is not None
+                        else rec.size > cfg.eager_threshold
+                    )
+                    if op == _OP_ISEND or not rendezvous:
+                        self.idx = idx + 1
+                        continue
+                    self._block("Send")
+                    return
                 tr.send_time = self.now
                 if not tr.rendezvous:
                     # Eager: enqueue the transfer and move on (OS-bypass
@@ -231,7 +253,16 @@ class _RankRunner:
                 return
 
             if op == _OP_RECV or op == _OP_IRECV:
-                tr = sim.recv_at[(self.rank, idx)]
+                tr = sim.recv_at.get((self.rank, idx))
+                if tr is None:
+                    # Unmatched receive: nothing will ever arrive.  An
+                    # IRecv's dangling request is caught at its Wait; a
+                    # blocking Recv blocks forever (diagnosable).
+                    if op == _OP_IRECV:
+                        self.idx = idx + 1
+                        continue
+                    self._block("Waiting a message")
+                    return
                 tr.recv_post_time = self.now
                 if tr.rendezvous and tr.send_time is not None and tr.ready_time is None:
                     sim.network.submit(tr)
@@ -252,8 +283,15 @@ class _RankRunner:
                 # call); everything else completes at message arrival.
                 pend: list[Transfer] = []
                 latest = self.now
+                dangling = False
                 for req in rec.requests:
-                    kind, tr = sim.req_map[(self.rank, req)]
+                    entry = sim.req_map.get((self.rank, req))
+                    if entry is None:
+                        # Request belongs to an unmatched ISend/IRecv
+                        # (or was never posted): it can never complete.
+                        dangling = True
+                        continue
+                    kind, tr = entry
                     if kind == "send" and not tr.rendezvous:
                         continue
                     if tr.arrived:
@@ -261,6 +299,9 @@ class _RankRunner:
                             latest = tr.arrival_time
                     else:
                         pend.append(tr)
+                if dangling:
+                    self._block("Wait/WaitAll")
+                    return
                 if not pend:
                     self.now = latest
                     self.idx = idx + 1
@@ -322,7 +363,9 @@ class _ReplayPlan:
     stays in :class:`_Simulation`.
     """
 
-    __slots__ = ("fingerprint", "trace", "opcodes", "pairs", "__weakref__")
+    __slots__ = (
+        "fingerprint", "trace", "opcodes", "pairs", "unmatched", "__weakref__",
+    )
 
     def __init__(self, trace: TraceSet):
         #: Per-rank record counts of the *source* trace, to invalidate
@@ -333,7 +376,15 @@ class _ReplayPlan:
             [_OPCODE_OF.get(type(r), _OP_UNKNOWN) for r in p.records]
             for p in self.trace
         ]
-        self.pairs = match_messages_cached(self.trace)
+        #: Matching-key descriptions of records no partner pairs with
+        #: (empty for well-formed traces).  Malformed traces take the
+        #: lenient path so the replay can diagnose the resulting stall
+        #: instead of aborting before it starts.
+        self.unmatched: list[str] = []
+        try:
+            self.pairs = match_messages_cached(self.trace)
+        except UnmatchedMessageError:
+            self.pairs, self.unmatched = match_messages_lenient(self.trace)
 
 
 _plan_cache: "weakref.WeakKeyDictionary[TraceSet, _ReplayPlan]" = (
@@ -356,6 +407,7 @@ class _Simulation:
         plan = _plan_for(trace)
         self.trace = plan.trace
         self.opcodes = plan.opcodes
+        self.unmatched = plan.unmatched
         self.cfg = cfg
         self.loop = EventLoop()
         self.network = Network(self.loop, self.trace.nranks, cfg)
@@ -389,22 +441,39 @@ class _Simulation:
         self.runners = [_RankRunner(self, r) for r in range(self.trace.nranks)]
 
 
-def simulate(trace: TraceSet, machine: MachineConfig | None = None) -> SimResult:
+def simulate(
+    trace: TraceSet,
+    machine: MachineConfig | None = None,
+    max_events: int | None = None,
+    max_sim_time: float | None = None,
+) -> SimResult:
     """Replay ``trace`` on ``machine`` and reconstruct its timeline.
 
-    Raises :class:`ReplayError` when the replay stalls (e.g. a
-    rendezvous cycle or an inconsistent trace).
+    Raises :class:`~repro.dimemas.postmortem.DeadlockError` (a
+    :class:`ReplayError`) when the replay stalls — e.g. a rendezvous
+    cycle or an inconsistent trace — carrying a structured
+    :class:`~repro.dimemas.postmortem.DeadlockReport` of the blocked
+    ranks, pending messages, and any wait cycle.
+
+    ``max_events`` / ``max_sim_time`` bound the simulation (overriding
+    the same-named :class:`MachineConfig` fields); exceeding either
+    raises :class:`~repro.dimemas.postmortem.SimulationTimeout` with
+    the same post-mortem snapshot, so a runaway replay is always
+    diagnosable, never a hang.
     """
     cfg = machine or MachineConfig()
     sim = _Simulation(trace, cfg)
     for runner in sim.runners:
         sim.loop.at(0.0, runner.advance)
-    sim.loop.run()
+    budget_events = max_events if max_events is not None else cfg.max_events
+    budget_time = max_sim_time if max_sim_time is not None else cfg.max_sim_time
+    try:
+        sim.loop.run(max_events=budget_events, max_time=budget_time)
+    except WatchdogExpired as w:
+        raise SimulationTimeout(w.reason, build_report(sim, sim.unmatched)) from None
 
-    stuck = [r.blocked_description() for r in sim.runners if not r.finished]
-    stuck += sim.coll.stuck()
-    if stuck:
-        raise ReplayError("replay stalled:\n" + "\n".join(stuck[:16]))
+    if any(not r.finished for r in sim.runners) or sim.coll._groups:
+        raise DeadlockError(build_report(sim, sim.unmatched))
 
     messages = sorted(
         (

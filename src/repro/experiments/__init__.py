@@ -18,7 +18,16 @@ from .bandwidth import (
 )
 from .cache import SimResultCache, TraceCache, trace_digest
 from .calibration import bus_sensitivity, calibrate_buses, saturation_knee
-from .parallel import ExperimentEngine, GridPoint, expand_grid, speedup_grid
+from .parallel import (
+    DegradedBracketError,
+    ExperimentEngine,
+    GridExecutionError,
+    GridPoint,
+    PointFailure,
+    RetryPolicy,
+    expand_grid,
+    speedup_grid,
+)
 from .pipeline import AppExperiment, VARIANTS
 from .tables import (
     PAPER_CONSUMPTION,
@@ -32,8 +41,9 @@ from .scaling import ScalePoint, ScalingStudy, scaling_study
 from .sweeps import SweepResult, ascii_series, bandwidth_sweep, latency_sweep
 
 __all__ = [
-    "AppExperiment", "ExperimentEngine", "GridPoint",
-    "NonMonotonePredicateError",
+    "AppExperiment", "DegradedBracketError", "ExperimentEngine",
+    "GridExecutionError", "GridPoint",
+    "NonMonotonePredicateError", "PointFailure", "RetryPolicy",
     "PAPER_CONSUMPTION", "PAPER_PRODUCTION", "PatternRow",
     "VARIANTS", "bisect_bandwidth", "bisect_bandwidth_batched",
     "bus_sensitivity", "calibrate_buses",

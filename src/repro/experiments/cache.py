@@ -19,6 +19,15 @@ parallel experiment engine can share one cache directory: when two
 processes build the same key, both writes succeed and the last rename
 wins with identical content.
 
+Both caches are also **self-healing**: every entry is published with a
+schema version and a content checksum, and anything that fails to load
+— truncated by a killed writer, bit-flipped on disk, or written by an
+older schema — is *quarantined* (moved into a ``quarantine/``
+subdirectory for inspection, with a logged reason) and transparently
+rebuilt.  Orphaned ``*.tmp`` staging files left behind by dead writers
+are swept when a cache directory is opened.  A corrupted cache can
+therefore slow a warm run down, but never crash it or poison results.
+
 Traces recorded with ``record_streams=True`` are *not* cacheable (raw
 access streams are not serialized) and bypass the trace cache.
 """
@@ -26,7 +35,9 @@ access streams are not serialized) and bypass the trace cache.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
+import logging
 import os
 import weakref
 from dataclasses import asdict
@@ -39,7 +50,20 @@ from ..dimemas.results import SimResult
 from ..trace import dim
 from ..trace.records import TraceSet
 
-__all__ = ["SimResultCache", "TraceCache", "content_key", "trace_digest"]
+__all__ = [
+    "SimResultCache", "TraceCache", "content_key", "sweep_cache_dir",
+    "trace_digest",
+]
+
+_log = logging.getLogger("repro.experiments.cache")
+
+#: On-disk entry schema.  Bumping it quarantines (and rebuilds) every
+#: entry written by earlier code instead of misreading it.
+SCHEMA_VERSION = 1
+
+#: Trailer marking a checksummed ``.dim`` cache entry.  The trace
+#: parser skips ``#`` comment lines, so the trailer is invisible to it.
+_DIM_TRAILER = "#CACHE:v={version};sha256={digest}"
 
 
 def content_key(**fields) -> str:
@@ -61,6 +85,91 @@ def _stage_and_publish(path: Path, text: str) -> None:
     tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
     tmp.write_text(text)
     tmp.replace(path)
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True  # exists but not ours (EPERM)
+    return True
+
+
+def _sweep_orphan_tmps(directory: Path) -> int:
+    """Remove ``*.tmp`` staging files whose writer process is gone.
+
+    A worker killed mid-write leaves its PID-suffixed staging file
+    behind forever (the atomic rename never ran).  Files belonging to
+    still-running PIDs are left alone — they may be mid-publish right
+    now.  Returns how many orphans were removed.
+    """
+    swept = 0
+    for tmp in directory.glob("*.tmp"):
+        parts = tmp.name.rsplit(".", 2)  # <entry-name>.<pid>.tmp
+        alive = False
+        if len(parts) == 3 and parts[1].isdigit():
+            alive = _pid_alive(int(parts[1]))
+        if not alive:
+            try:
+                tmp.unlink()
+                swept += 1
+            except OSError:
+                pass  # another opener swept it first
+    if swept:
+        _log.info("swept %d orphaned staging file(s) in %s", swept, directory)
+    return swept
+
+
+def sweep_cache_dir(cache_dir: str | Path) -> int:
+    """Remove leftover staging files under a cache root (interrupt path).
+
+    Sweeps the ``traces`` and ``replays`` subdirectories for staging
+    files of dead writers *and* of the calling process itself — after a
+    Ctrl-C the caller's own half-written staging file is garbage too.
+    Returns how many files were removed.
+    """
+    root = Path(cache_dir)
+    removed = 0
+    for sub in (root / "traces", root / "replays"):
+        if not sub.is_dir():
+            continue
+        for tmp in sub.glob(f"*.{os.getpid()}.tmp"):
+            try:
+                tmp.unlink()
+                removed += 1
+            except OSError:
+                pass
+        removed += _sweep_orphan_tmps(sub)
+    return removed
+
+
+def _quarantine(path: Path, reason: str) -> None:
+    """Move a bad cache entry aside (``quarantine/``) and log why.
+
+    The entry is preserved for inspection rather than deleted; its new
+    name is made unique so repeated quarantines of the same key never
+    clobber the evidence.  Losing the race against a concurrent
+    quarantine (or rebuild) of the same entry is fine — the file is
+    simply gone already.
+    """
+    qdir = path.parent / "quarantine"
+    try:
+        qdir.mkdir(exist_ok=True)
+        for n in itertools.count():
+            target = qdir / (f"{path.name}.{n}" if n else path.name)
+            if not target.exists():
+                break
+        path.replace(target)
+    except OSError:
+        _log.warning(
+            "corrupt cache entry %s (%s): quarantine failed, ignoring entry",
+            path, reason,
+        )
+        return
+    _log.warning("quarantined corrupt cache entry %s -> %s (%s)",
+                 path, target, reason)
 
 
 #: Per-TraceSet memo of content digests (guarded by record counts, like
@@ -86,14 +195,23 @@ def trace_digest(trace: TraceSet) -> str:
 
 
 class TraceCache:
-    """A directory of content-addressed ``.dim`` trace files."""
+    """A directory of content-addressed ``.dim`` trace files.
+
+    Entries carry a ``#CACHE:v=...;sha256=...`` trailer line (invisible
+    to the trace parser) checksumming the serialized trace; an entry
+    that is truncated, corrupted, unparseable, or from another schema
+    version is quarantined and rebuilt instead of crashing the run.
+    """
 
     def __init__(self, directory: str | Path):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
-        #: Diagnostics: how often the cache answered / had to build.
+        _sweep_orphan_tmps(self.directory)
+        #: Diagnostics: how often the cache answered / had to build,
+        #: and how many entries had to be quarantined and rebuilt.
         self.hits = 0
         self.misses = 0
+        self.rebuilt = 0
 
     @staticmethod
     def key(**fields) -> str:
@@ -103,15 +221,54 @@ class TraceCache:
     def path_for(self, key: str) -> Path:
         return self.directory / f"{key}.dim"
 
+    @staticmethod
+    def _seal(body: str) -> str:
+        if not body.endswith("\n"):
+            body += "\n"
+        digest = hashlib.sha256(body.encode()).hexdigest()
+        trailer = _DIM_TRAILER.format(version=SCHEMA_VERSION, digest=digest)
+        return body + trailer + "\n"
+
+    def _verified_load(self, path: Path) -> TraceSet | None:
+        """Parse a sealed entry; None (after quarantine) when unusable."""
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            _quarantine(path, f"unreadable: {exc}")
+            return None
+        body, nl, trailer = text.rstrip("\n").rpartition("\n")
+        expected = _DIM_TRAILER.format(
+            version=SCHEMA_VERSION,
+            digest=hashlib.sha256((body + nl).encode()).hexdigest(),
+        )
+        if not trailer.startswith("#CACHE:"):
+            _quarantine(path, "no checksum trailer (pre-schema entry)")
+            return None
+        if trailer != expected:
+            _quarantine(path, "checksum/schema mismatch (truncated or corrupt)")
+            return None
+        try:
+            return dim.loads(body + nl)
+        except (dim.TraceFormatError, ValueError) as exc:
+            _quarantine(path, f"unparseable: {exc}")
+            return None
+
     def load_or_build(self, key: str, builder: Callable[[], TraceSet]) -> TraceSet:
-        """Return the cached trace for ``key`` or build and store it."""
+        """Return the cached trace for ``key`` or build and store it.
+
+        A bad entry — parse error, checksum mismatch, stale schema — is
+        quarantined and rebuilt; it never propagates to the caller.
+        """
         path = self.path_for(key)
         if path.exists():
-            self.hits += 1
-            return dim.load(path)
+            trace = self._verified_load(path)
+            if trace is not None:
+                self.hits += 1
+                return trace
+            self.rebuilt += 1
         self.misses += 1
         trace = builder()
-        _stage_and_publish(path, dim.dumps(trace))
+        _stage_and_publish(path, self._seal(dim.dumps(trace)))
         return trace
 
     def clear(self) -> int:
@@ -135,13 +292,21 @@ class SimResultCache:
     :class:`MachineConfig` knob can never silently reuse stale results.
     Restored results are bit-identical to freshly simulated ones
     (floats round-trip exactly through JSON ``repr`` encoding).
+
+    Entries are JSON envelopes ``{"schema", "sha256", "result"}``; the
+    checksum covers the canonicalized payload, so a truncated or
+    bit-flipped entry (or one written by another schema version) is
+    quarantined and re-simulated instead of crashing or — worse —
+    silently returning garbage numbers.
     """
 
     def __init__(self, directory: str | Path):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        _sweep_orphan_tmps(self.directory)
         self.hits = 0
         self.misses = 0
+        self.rebuilt = 0
 
     @staticmethod
     def key_for_digest(digest: str, machine: MachineConfig) -> str:
@@ -164,20 +329,51 @@ class SimResultCache:
     def path_for(self, key: str) -> Path:
         return self.directory / f"{key}.json"
 
+    @staticmethod
+    def _canonical(payload: dict) -> str:
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
     def load(self, key: str) -> SimResult | None:
-        """The cached result under ``key``, or None (counts hit/miss)."""
+        """The cached result under ``key``, or None (counts hit/miss).
+
+        A bad entry — unparseable, wrong schema version, checksum
+        mismatch — is quarantined and reported as a miss, so the caller
+        re-simulates and the rebuilt entry replaces it.
+        """
         path = self.path_for(key)
         if path.exists():
-            self.hits += 1
-            return SimResult.from_dict(json.loads(path.read_text()))
+            try:
+                envelope = json.loads(path.read_text())
+            except (OSError, ValueError) as exc:
+                _quarantine(path, f"unreadable/unparseable: {exc}")
+            else:
+                if (
+                    not isinstance(envelope, dict)
+                    or envelope.get("schema") != SCHEMA_VERSION
+                ):
+                    _quarantine(path, "unknown or pre-checksum schema")
+                elif envelope.get("sha256") != hashlib.sha256(
+                    self._canonical(envelope.get("result", {})).encode()
+                ).hexdigest():
+                    _quarantine(path, "payload checksum mismatch")
+                else:
+                    self.hits += 1
+                    return SimResult.from_dict(envelope["result"])
+            self.rebuilt += 1
         self.misses += 1
         return None
 
     def store(self, key: str, result: SimResult) -> None:
         """Publish a result under ``key`` (atomic, concurrency-safe)."""
+        payload = result.to_dict()
+        envelope = {
+            "schema": SCHEMA_VERSION,
+            "sha256": hashlib.sha256(self._canonical(payload).encode()).hexdigest(),
+            "result": payload,
+        }
         _stage_and_publish(
             self.path_for(key),
-            json.dumps(result.to_dict(), separators=(",", ":")),
+            json.dumps(envelope, separators=(",", ":")),
         )
 
     def load_or_simulate(
@@ -213,12 +409,25 @@ class SimResultCache:
     # which changes every key anyway.
 
     def get_digest(self, spec_key: str) -> str | None:
-        """Trace digest recorded for an experiment spec, if any."""
+        """Trace digest recorded for an experiment spec, if any.
+
+        A digest file that does not hold one well-formed hex digest
+        (torn write, corruption) is quarantined and treated as absent.
+        """
         path = self.directory / f"{spec_key}.digest"
         try:
-            return path.read_text().strip() or None
-        except OSError:
+            digest = path.read_text().strip()
+        except FileNotFoundError:
             return None
+        except OSError as exc:
+            _quarantine(path, f"unreadable digest file: {exc}")
+            return None
+        if not digest:
+            return None
+        if len(digest) != 24 or any(c not in "0123456789abcdef" for c in digest):
+            _quarantine(path, f"malformed digest {digest[:40]!r}")
+            return None
+        return digest
 
     def put_digest(self, spec_key: str, digest: str) -> None:
         """Record the trace digest of an experiment spec (atomic)."""

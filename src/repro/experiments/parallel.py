@@ -27,7 +27,11 @@ several levels per round with bitwise-identical thresholds.
 from __future__ import annotations
 
 import itertools
-from concurrent.futures import ProcessPoolExecutor
+import logging
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Callable, Iterable, Mapping, Sequence
@@ -37,7 +41,18 @@ from ..dimemas.results import SimResult
 from .cache import SimResultCache, TraceCache
 from .pipeline import AppExperiment
 
-__all__ = ["ExperimentEngine", "GridPoint", "expand_grid", "speedup_grid"]
+__all__ = [
+    "DegradedBracketError",
+    "ExperimentEngine",
+    "GridExecutionError",
+    "GridPoint",
+    "PointFailure",
+    "RetryPolicy",
+    "expand_grid",
+    "speedup_grid",
+]
+
+_log = logging.getLogger("repro.experiments.parallel")
 
 
 def _normalize_params(params: Mapping | Iterable | None) -> tuple:
@@ -102,6 +117,106 @@ def expand_grid(
 
 
 # --------------------------------------------------------------------------- #
+# Failure handling: retry policy, quarantine sentinel, grid errors.
+# --------------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the engine reacts when a grid point fails in a worker.
+
+    ``max_attempts`` bounds how often one point is tried before it is
+    quarantined; between attempts the engine sleeps
+    ``backoff * backoff_factor ** (attempt - 1)`` seconds.
+    ``point_timeout`` (seconds of wall clock per in-flight point,
+    ``None`` = unlimited) converts a hung worker into a recoverable
+    failure: the pool is recycled and the point charged one attempt.
+    """
+
+    max_attempts: int = 3
+    backoff: float = 0.05
+    backoff_factor: float = 2.0
+    point_timeout: float | None = None
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff < 0:
+            raise ValueError(f"backoff must be >= 0, got {self.backoff}")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.point_timeout is not None and self.point_timeout <= 0:
+            raise ValueError(
+                f"point_timeout must be positive, got {self.point_timeout}"
+            )
+
+    def delay(self, attempt: int) -> float:
+        """Backoff (seconds) after failed attempt number ``attempt``."""
+        return self.backoff * self.backoff_factor ** (attempt - 1)
+
+
+@dataclass(frozen=True)
+class PointFailure:
+    """Sentinel standing in for a grid point that exhausted its retries.
+
+    In degraded mode (:class:`ExperimentEngine` with ``degraded=True``)
+    these appear in :meth:`ExperimentEngine.run_grid` /
+    :meth:`~ExperimentEngine.durations` output slots instead of results;
+    in strict mode they ride inside :class:`GridExecutionError`.
+    ``kind`` is ``"exception"`` (the replay raised), ``"timeout"`` (the
+    point blew its wall-clock budget), or ``"pool_crash"`` (a worker
+    process died while the point was in flight).
+    """
+
+    point: GridPoint
+    kind: str
+    error: str
+    attempts: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.point.app}/{self.point.variant} "
+            f"(bw={self.point.bandwidth_mbps}, buses={self.point.buses}, "
+            f"lat={self.point.latency}): {self.kind} after "
+            f"{self.attempts} attempt(s): {self.error}"
+        )
+
+
+class GridExecutionError(RuntimeError):
+    """One or more grid points kept failing (strict mode).
+
+    ``failures`` lists one :class:`PointFailure` per dead point; the
+    points that did succeed are not reported here — re-run in degraded
+    mode to get them alongside the sentinels.
+    """
+
+    def __init__(self, failures: Sequence[PointFailure]):
+        self.failures = list(failures)
+        lines = "\n".join(f"  {f.describe()}" for f in self.failures)
+        super().__init__(
+            f"{len(self.failures)} grid point(s) failed permanently:\n{lines}"
+        )
+
+
+class DegradedBracketError(RuntimeError):
+    """A bisection bracket depends on probes that failed.
+
+    Bisection walks a decision tree: a missing probe answer would
+    silently bias the threshold, so a degraded engine refuses the
+    bracket outright instead of guessing.
+    """
+
+    def __init__(self, failures: Sequence[PointFailure]):
+        self.failures = list(failures)
+        lines = "\n".join(f"  {f.describe()}" for f in self.failures)
+        super().__init__(
+            f"bisection bracket degraded — {len(self.failures)} probe(s) "
+            f"failed:\n{lines}"
+        )
+
+
+# --------------------------------------------------------------------------- #
 # Point execution (shared by the in-process path and pool workers).
 # --------------------------------------------------------------------------- #
 
@@ -150,11 +265,40 @@ def _worker_init(cache_dir: str | None) -> None:
     _WORKER["experiments"] = {}
 
 
+def _claim_marker(env_var: str) -> bool:
+    """Atomically claim the marker file named by ``env_var`` (test hook).
+
+    The resilience tests arm a fault by creating a file and exporting
+    its path; exactly one worker wins the unlink and misbehaves, so a
+    "worker dies mid-grid" scenario is deterministic without patching
+    multiprocessing internals.
+    """
+    marker = os.environ.get(env_var)
+    if not marker:
+        return False
+    try:
+        os.unlink(marker)
+    except FileNotFoundError:
+        return False
+    return True
+
+
+def _maybe_fault_for_tests() -> None:
+    if _claim_marker("REPRO_TEST_KILL_WORKER_ONCE"):
+        os._exit(13)  # hard death: parent sees BrokenProcessPool
+    if _claim_marker("REPRO_TEST_RAISE_ONCE"):
+        raise RuntimeError("injected worker failure (test hook)")
+    if _claim_marker("REPRO_TEST_HANG_ONCE"):
+        time.sleep(600.0)
+
+
 def _worker_result(point: GridPoint) -> SimResult:
+    _maybe_fault_for_tests()
     return _simulate_point(point, _WORKER["cache_dir"], _WORKER["experiments"])
 
 
 def _worker_duration(point: GridPoint) -> float:
+    _maybe_fault_for_tests()
     return _simulate_point(point, _WORKER["cache_dir"], _WORKER["experiments"]).duration
 
 
@@ -176,15 +320,36 @@ class ExperimentEngine:
         ``<cache_dir>/replays`` for :class:`SimResultCache`.  Shared by
         all workers; ``None`` disables persistence (each process still
         memoizes in memory).
+    retry:
+        :class:`RetryPolicy` governing worker failures (default: three
+        attempts, 50 ms exponential backoff, no per-point timeout).
+        A dead worker process (``BrokenProcessPool``) restarts the pool
+        and charges every in-flight point one attempt; a hung worker is
+        detected via ``retry.point_timeout`` and handled the same way.
+    degraded:
+        When True, points that exhaust their retries come back as
+        :class:`PointFailure` sentinels in the result list (and are
+        recorded in :attr:`quarantine`); when False (default) the grid
+        raises :class:`GridExecutionError` listing them.
 
     The engine is a context manager; :meth:`close` shuts the pool down.
     """
 
-    def __init__(self, jobs: int = 1, cache_dir: str | Path | None = None):
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: str | Path | None = None,
+        retry: RetryPolicy | None = None,
+        degraded: bool = False,
+    ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = int(jobs)
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.degraded = bool(degraded)
+        #: Points that exhausted their retry budget, by grid point.
+        self.quarantine: dict[GridPoint, PointFailure] = {}
         self._experiments: dict = {}
         self._pool: ProcessPoolExecutor | None = None
 
@@ -194,6 +359,24 @@ class ExperimentEngine:
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+
+    def _discard_pool(self, reason: str) -> None:
+        """Tear down a broken or hung pool so the next submit rebuilds it.
+
+        Workers are terminated outright: after a crash the survivors
+        hold no state worth draining (results travel through futures we
+        have already abandoned), and after a hang the stuck worker
+        would block a graceful shutdown forever.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        _log.warning("experiment pool %s; recycling workers", reason)
+        procs = getattr(pool, "_processes", None) or {}
+        for proc in list(procs.values()):
+            if proc.is_alive():
+                proc.terminate()
+        pool.shutdown(wait=False, cancel_futures=True)
 
     def __enter__(self) -> "ExperimentEngine":
         return self
@@ -220,6 +403,9 @@ class ExperimentEngine:
         sorted by experiment identity so one worker tends to replay all
         platform variations of the same trace (per-process experiment
         reuse); results come back in the input order.
+
+        Worker failures are retried per :attr:`retry`; permanently dead
+        points surface per :attr:`degraded` (sentinel or raise).
         """
         out: list = [None] * len(points)
         miss: list[int] = []
@@ -238,38 +424,162 @@ class ExperimentEngine:
         if not miss:
             return out
         order = sorted(miss, key=lambda i: (repr(points[i].experiment_key()), i))
-        grouped = [points[i] for i in order]
-        chunksize = max(1, -(-len(grouped) // (self.jobs * 2)))
-        mapped = list(self._ensure_pool().map(pool_fn, grouped, chunksize=chunksize))
-        for pos, i in enumerate(order):
-            out[i] = mapped[pos]
+        failures: list[PointFailure] = []
+        self._run_resilient(
+            pool_fn, [(i, points[i]) for i in order], out, failures,
+        )
+        if failures and not self.degraded:
+            raise GridExecutionError(failures)
+        return out
+
+    def _run_resilient(
+        self,
+        pool_fn: Callable,
+        indexed: list[tuple[int, GridPoint]],
+        out: list,
+        failures: list[PointFailure],
+    ) -> None:
+        """Submit every ``(slot, point)`` as its own future and babysit.
+
+        Three failure shapes are recovered: a worker *raising* (retry
+        that point), a worker *dying* (``BrokenProcessPool`` poisons
+        every in-flight future — recycle the pool, charge each in-flight
+        point one attempt, resubmit), and a worker *hanging* (per-point
+        wall-clock budget exceeded — same recycle, charge only the
+        expired points).  A point that spends its attempt budget is
+        quarantined; its slot receives a :class:`PointFailure`.
+        """
+        retry = self.retry
+        pending: dict[Future, tuple[int, GridPoint, int, float]] = {}
+
+        def submit(slot: int, point: GridPoint, attempt: int) -> None:
+            fut = self._ensure_pool().submit(pool_fn, point)
+            pending[fut] = (slot, point, attempt, time.monotonic())
+
+        def settle(slot: int, point: GridPoint, attempt: int,
+                   kind: str, error: str) -> None:
+            if attempt < retry.max_attempts:
+                delay = retry.delay(attempt)
+                _log.warning(
+                    "grid point %s/%s failed (%s, attempt %d/%d): %s; "
+                    "retrying in %.3fs",
+                    point.app, point.variant, kind, attempt,
+                    retry.max_attempts, error, delay,
+                )
+                if delay > 0:
+                    time.sleep(delay)
+                submit(slot, point, attempt + 1)
+                return
+            failure = PointFailure(
+                point=point, kind=kind, error=error, attempts=attempt,
+            )
+            self.quarantine[point] = failure
+            failures.append(failure)
+            out[slot] = failure
+            _log.error("grid point quarantined: %s", failure.describe())
+
+        for slot, point in indexed:
+            submit(slot, point, 1)
+
+        while pending:
+            timeout = None
+            if retry.point_timeout is not None:
+                oldest = min(t0 for (_, _, _, t0) in pending.values())
+                timeout = max(
+                    0.0, oldest + retry.point_timeout - time.monotonic()
+                )
+            done, _ = wait(
+                list(pending), timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                # A point blew its wall-clock budget: its worker is
+                # stuck, so the pool must go.  Innocent in-flight points
+                # are resubmitted without being charged an attempt.
+                now = time.monotonic()
+                states = list(pending.values())
+                pending.clear()
+                self._discard_pool("hung (per-point timeout exceeded)")
+                for slot, point, attempt, t0 in states:
+                    if now - t0 >= retry.point_timeout:
+                        settle(
+                            slot, point, attempt, "timeout",
+                            f"exceeded {retry.point_timeout:.3g}s wall clock",
+                        )
+                    else:
+                        submit(slot, point, attempt)
+                continue
+            for fut in done:
+                if fut not in pending:
+                    continue  # cleared by a pool-crash recovery below
+                slot, point, attempt, _ = pending.pop(fut)
+                try:
+                    out[slot] = fut.result()
+                except BrokenProcessPool as exc:
+                    # The dead worker poisons every in-flight future and
+                    # the parent cannot tell which point killed it, so
+                    # each one is charged an attempt (this bounds a
+                    # reproducibly-crashing point to max_attempts pool
+                    # restarts) and everything is resubmitted.
+                    victims = list(pending.values())
+                    pending.clear()
+                    self._discard_pool("broken (worker process died)")
+                    err = f"{type(exc).__name__}: {exc}" if str(exc) else (
+                        "worker process died unexpectedly"
+                    )
+                    settle(slot, point, attempt, "pool_crash", err)
+                    for v_slot, v_point, v_attempt, _ in victims:
+                        settle(v_slot, v_point, v_attempt, "pool_crash", err)
+                except Exception as exc:  # noqa: BLE001 - retried/reported
+                    settle(
+                        slot, point, attempt, "exception",
+                        f"{type(exc).__name__}: {exc}",
+                    )
+
+    def _run_serial(self, points: list[GridPoint], to_value: Callable) -> list:
+        """In-process reference path with the same failure contract."""
+        out: list = []
+        failures: list[PointFailure] = []
+        for p in points:
+            try:
+                out.append(
+                    to_value(_simulate_point(p, self.cache_dir, self._experiments))
+                )
+            except Exception as exc:  # noqa: BLE001 - uniform grid contract
+                failure = PointFailure(
+                    point=p, kind="exception",
+                    error=f"{type(exc).__name__}: {exc}", attempts=1,
+                )
+                self.quarantine[p] = failure
+                if not self.degraded:
+                    raise GridExecutionError([failure]) from exc
+                _log.warning("degraded grid: %s", failure.describe())
+                failures.append(failure)
+                out.append(failure)
         return out
 
     def run_grid(self, points: Iterable[GridPoint]) -> list[SimResult]:
         """Replay every grid point; results in input order.
 
         Deterministic: identical to running the same points serially.
+        In degraded mode, slots whose point kept failing hold a
+        :class:`PointFailure` instead of a :class:`SimResult`; in
+        strict mode such points raise :class:`GridExecutionError`.
         """
         points = list(points)
         if self.jobs <= 1 or len(points) <= 1:
-            return [
-                _simulate_point(p, self.cache_dir, self._experiments)
-                for p in points
-            ]
+            return self._run_serial(points, lambda r: r)
         return self._map_points(_worker_result, points)
 
     def durations(self, points: Iterable[GridPoint]) -> list[float]:
         """Simulated makespans of every grid point, in input order.
 
         Cheaper than :meth:`run_grid` across a pool: only a float per
-        point crosses the process boundary.
+        point crosses the process boundary.  Failure contract as in
+        :meth:`run_grid`.
         """
         points = list(points)
         if self.jobs <= 1 or len(points) <= 1:
-            return [
-                _simulate_point(p, self.cache_dir, self._experiments).duration
-                for p in points
-            ]
+            return self._run_serial(points, lambda r: r.duration)
         return self._map_points(_worker_duration, points)
 
     # -- experiment interop -------------------------------------------------
@@ -300,17 +610,29 @@ class ExperimentEngine:
         Returns ``predicate_many(bandwidths) -> [duration <= threshold]``
         evaluated through the engine (concurrently when ``jobs > 1``;
         directly on ``exp`` when serial, reusing its memo).
+
+        A degraded engine refuses to guess: when any probe comes back
+        as a :class:`PointFailure` the predicate raises
+        :class:`DegradedBracketError` instead of returning a bracket
+        built on missing answers.
         """
         base = self.point_for(exp, variant)
+        # Let the engine's warm-hit and serial paths reuse the caller's
+        # already-traced experiment instead of rebuilding it.
+        self._experiments.setdefault(base.experiment_key(), exp)
 
         def predicate_many(bandwidths: Sequence[float]) -> list[bool]:
-            if self.jobs <= 1:
+            if self.jobs <= 1 and not self.degraded:
                 return [
                     exp.duration(variant, bandwidth_mbps=float(bw)) <= threshold
                     for bw in bandwidths
                 ]
             pts = [replace(base, bandwidth_mbps=float(bw)) for bw in bandwidths]
-            return [d <= threshold for d in self.durations(pts)]
+            durs = self.durations(pts)
+            bad = [d for d in durs if isinstance(d, PointFailure)]
+            if bad:
+                raise DegradedBracketError(bad)
+            return [d <= threshold for d in durs]
 
         return predicate_many
 

@@ -17,9 +17,9 @@ from ..dimemas.machine import PAPER_BUSES
 from ..paraver.compare import compare
 from ..paraver.timeline import iteration_bounds
 from .bandwidth import equivalent_bandwidth, relaxation_bandwidth
-from .cache import SimResultCache, TraceCache
+from .cache import SimResultCache, TraceCache, sweep_cache_dir
 from .calibration import saturation_knee
-from .parallel import ExperimentEngine
+from .parallel import DegradedBracketError, ExperimentEngine, GridExecutionError
 from .pipeline import AppExperiment
 from .tables import PAPER_CONSUMPTION, PAPER_PRODUCTION, figure5_series, pattern_row
 
@@ -43,6 +43,7 @@ def full_report(
     include_bandwidth: bool = True,
     jobs: int = 1,
     cache_dir: str | Path | None = None,
+    degraded: bool = False,
 ) -> str:
     """Build the complete text report (can take a few minutes).
 
@@ -50,10 +51,20 @@ def full_report(
     speedups and bandwidth searches) across worker processes;
     ``cache_dir`` persists traces and replay results so a re-run is
     nearly free.  Results are identical regardless of ``jobs``.
+    ``degraded=True`` lets the report finish with per-app FAILED rows
+    when some replays keep dying, instead of aborting the whole run.
     """
-    engine = ExperimentEngine(jobs=jobs, cache_dir=cache_dir)
+    engine = ExperimentEngine(jobs=jobs, cache_dir=cache_dir, degraded=degraded)
     try:
         return _full_report(nranks, apps, include_bandwidth, engine)
+    except KeyboardInterrupt:
+        # Fast teardown: a graceful close would wait for busy workers.
+        # Kill them and drop the half-written staging files they (and
+        # we) leave behind, so the cache stays clean for the next run.
+        engine._discard_pool("interrupted (Ctrl-C)")
+        if cache_dir is not None:
+            sweep_cache_dir(cache_dir)
+        raise
     finally:
         engine.close()
 
@@ -140,16 +151,22 @@ def _full_report(
     print(header, file=out)
     eng = engine if engine.jobs > 1 else None
     for a in apps:
-        e = exps[a]
-        s = e.speedups()
-        line = f"{a:>10} {s['real']:8.4f} {s['ideal']:8.4f}"
-        if include_bandwidth:
-            rr = relaxation_bandwidth(e, "real", engine=eng)
-            ri = relaxation_bandwidth(e, "ideal", engine=eng)
-            er = equivalent_bandwidth(e, "real", engine=eng)
-            ei = equivalent_bandwidth(e, "ideal", engine=eng)
-            line += (f" {_fmt_bw(rr):>14} {_fmt_bw(ri):>15}"
-                     f" {_fmt_bw(er):>14} {_fmt_bw(ei):>15}")
+        # One dead app must not take the rest of the table with it: its
+        # row reports the failure and the loop moves on.
+        try:
+            e = exps[a]
+            s = e.speedups()
+            line = f"{a:>10} {s['real']:8.4f} {s['ideal']:8.4f}"
+            if include_bandwidth:
+                rr = relaxation_bandwidth(e, "real", engine=eng)
+                ri = relaxation_bandwidth(e, "ideal", engine=eng)
+                er = equivalent_bandwidth(e, "real", engine=eng)
+                ei = equivalent_bandwidth(e, "ideal", engine=eng)
+                line += (f" {_fmt_bw(rr):>14} {_fmt_bw(ri):>15}"
+                         f" {_fmt_bw(er):>14} {_fmt_bw(ei):>15}")
+        except (DegradedBracketError, GridExecutionError) as exc:
+            first = exc.failures[0].describe() if exc.failures else str(exc)
+            line = f"{a:>10} {'FAILED':>8} {'FAILED':>8}  [{first}]"
         print(line, file=out)
     return out.getvalue()
 
@@ -166,10 +183,14 @@ def main() -> None:  # pragma: no cover - exercised via CLI
                     help="worker processes for the replay grids")
     ap.add_argument("--cache-dir", default=None,
                     help="persist traces and replay results here")
+    ap.add_argument("--degraded", action="store_true",
+                    help="report FAILED rows instead of aborting when "
+                         "replays keep failing")
     args = ap.parse_args()
     print(full_report(nranks=args.nranks,
                       include_bandwidth=not args.no_bandwidth,
-                      jobs=args.jobs, cache_dir=args.cache_dir))
+                      jobs=args.jobs, cache_dir=args.cache_dir,
+                      degraded=args.degraded))
 
 
 if __name__ == "__main__":  # pragma: no cover

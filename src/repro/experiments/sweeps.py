@@ -10,6 +10,7 @@ plotting stack.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -49,19 +50,26 @@ def _sweep(
     engine,
 ) -> SweepResult:
     """Run one (variant x value) grid, engine-fanned when available."""
-    if engine is None or engine.jobs <= 1:
+    if engine is None or (engine.jobs <= 1 and not engine.degraded):
         durations = {
             v: tuple(exp.duration(v, **{parameter: x}) for x in xs)
             for v in variants
         }
         return SweepResult(parameter, xs, durations)
     from dataclasses import replace
+
+    from .parallel import PointFailure
     points = [
         replace(engine.point_for(exp, v), **{parameter: x})
         for v in variants
         for x in xs
     ]
-    flat = engine.durations(points)
+    # A degraded engine hands back PointFailure sentinels for points it
+    # had to quarantine; the sweep keeps its shape with NaN holes.
+    flat = [
+        math.nan if isinstance(d, PointFailure) else d
+        for d in engine.durations(points)
+    ]
     durations = {
         v: tuple(flat[i * len(xs):(i + 1) * len(xs)])
         for i, v in enumerate(variants)

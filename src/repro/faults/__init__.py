@@ -1,0 +1,48 @@
+"""Seeded, deterministic fault injection for traces.
+
+``repro.faults`` perturbs well-formed traces into the malformed inputs
+the robustness layer must survive: dropped, duplicated, or reordered
+records, corrupted message sizes, truncated rank streams, and skewed
+timestamps.  Every injector is a pure function of ``(trace, seed)`` —
+the same seed always produces the same perturbation — so failure
+scenarios reproduce exactly in tests and bug reports.
+
+Typical use::
+
+    from repro import faults
+
+    mutant, fault = faults.inject(trace, "drop", seed=7)
+    # fault names the rank / record index that was perturbed, so a
+    # downstream ValidationIssue or DeadlockReport can be checked
+    # against it.
+
+See :data:`FAULT_KINDS` for the menu and :func:`inject` for the
+dispatcher; the individual injectors are in
+:mod:`repro.faults.injectors`.
+"""
+
+from .injectors import (
+    FAULT_KINDS,
+    Fault,
+    FaultInjectionError,
+    corrupt_size,
+    drop_record,
+    duplicate_record,
+    inject,
+    reorder_records,
+    skew_timestamps,
+    truncate_rank,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "Fault",
+    "FaultInjectionError",
+    "corrupt_size",
+    "drop_record",
+    "duplicate_record",
+    "inject",
+    "reorder_records",
+    "skew_timestamps",
+    "truncate_rank",
+]

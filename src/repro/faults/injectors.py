@@ -1,0 +1,252 @@
+"""The fault injectors: seeded deterministic trace perturbations.
+
+Each injector deep-copies the input trace (the original is never
+mutated), perturbs exactly one site chosen by a ``random.Random(seed)``
+stream, and returns ``(mutant, Fault)`` where the :class:`Fault`
+records *what* changed and *where* — so tests can assert that the
+resulting :class:`~repro.trace.validate.ValidationIssue` or
+:class:`~repro.dimemas.postmortem.DeadlockReport` attributes the
+failure to the right rank and record.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from dataclasses import dataclass, field
+
+from ..trace.records import (
+    CpuBurst,
+    IRecv,
+    ISend,
+    Recv,
+    Send,
+    TraceSet,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "Fault",
+    "FaultInjectionError",
+    "corrupt_size",
+    "drop_record",
+    "duplicate_record",
+    "inject",
+    "reorder_records",
+    "skew_timestamps",
+    "truncate_rank",
+]
+
+#: Record classes that participate in point-to-point communication.
+_COMM_TYPES = (Send, ISend, Recv, IRecv)
+
+
+class FaultInjectionError(ValueError):
+    """The requested fault cannot be injected into this trace (e.g.
+    dropping a message record from a communication-free trace)."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """A description of one injected perturbation."""
+
+    #: Injector name ("drop", "duplicate", "reorder", "corrupt_size",
+    #: "truncate", "skew").
+    kind: str
+    #: Rank whose record stream was perturbed.
+    rank: int
+    #: Record index the perturbation applied at (for "truncate", the
+    #: first removed index; for "reorder", the left of the swapped pair).
+    index: int
+    #: Seed that produced this fault (replays identically).
+    seed: int
+    #: Kind-specific details (old/new sizes, removed count, factor, ...).
+    details: dict = field(default_factory=dict)
+
+    def describe(self) -> str:
+        extra = ", ".join(f"{k}={v}" for k, v in sorted(self.details.items()))
+        return (
+            f"fault[{self.kind}] rank={self.rank} record={self.index} "
+            f"seed={self.seed}" + (f" ({extra})" if extra else "")
+        )
+
+
+def _clone(trace: TraceSet) -> TraceSet:
+    return copy.deepcopy(trace)
+
+
+def _comm_sites(trace: TraceSet, types=_COMM_TYPES) -> list[tuple[int, int]]:
+    """All ``(rank, index)`` positions holding a record of ``types``."""
+    return [
+        (proc.rank, i)
+        for proc in trace
+        for i, rec in enumerate(proc.records)
+        if isinstance(rec, types)
+    ]
+
+
+def _pick_site(trace: TraceSet, seed: int, kind: str, types=_COMM_TYPES) -> tuple[int, int]:
+    sites = _comm_sites(trace, types)
+    if not sites:
+        raise FaultInjectionError(
+            f"cannot inject {kind!r}: trace has no matching records"
+        )
+    return random.Random(seed).choice(sites)
+
+
+def _records(trace: TraceSet, rank: int) -> list:
+    """The mutable record list of ``rank`` (injectors edit in place on
+    the clone; appends/removals invalidate per-trace memo caches via
+    the record-count fingerprint)."""
+    return trace[rank].records
+
+
+# --------------------------------------------------------------------------- #
+# Injectors.
+# --------------------------------------------------------------------------- #
+
+def drop_record(trace: TraceSet, seed: int = 0) -> tuple[TraceSet, Fault]:
+    """Remove one communication record — the classic lost message.
+
+    Leaves the partner endpoint unmatched: validation must flag the
+    key, and a replay must end in a diagnosable deadlock (the orphaned
+    blocking operation waits forever), never a silent misreport.
+    """
+    rank, idx = _pick_site(trace, seed, "drop")
+    mutant = _clone(trace)
+    rec = _records(mutant, rank).pop(idx)
+    mutant[rank].invalidate()
+    return mutant, Fault(
+        kind="drop", rank=rank, index=idx, seed=seed,
+        details={"record": type(rec).__name__},
+    )
+
+
+def duplicate_record(trace: TraceSet, seed: int = 0) -> tuple[TraceSet, Fault]:
+    """Insert a second copy of one communication record (a replayed
+    message: one endpoint now has more operations than its partner)."""
+    rank, idx = _pick_site(trace, seed, "duplicate")
+    mutant = _clone(trace)
+    records = _records(mutant, rank)
+    records.insert(idx + 1, copy.deepcopy(records[idx]))
+    mutant[rank].invalidate()
+    return mutant, Fault(
+        kind="duplicate", rank=rank, index=idx, seed=seed,
+        details={"record": type(records[idx]).__name__},
+    )
+
+
+def reorder_records(trace: TraceSet, seed: int = 0) -> tuple[TraceSet, Fault]:
+    """Swap one communication record with its successor on the same
+    rank (an ordering violation; may or may not change the matching)."""
+    rng = random.Random(seed)
+    sites = [
+        (rank, i) for rank, i in _comm_sites(trace)
+        if i + 1 < len(trace[rank].records)
+    ]
+    if not sites:
+        raise FaultInjectionError("cannot inject 'reorder': no swappable pair")
+    rank, idx = rng.choice(sites)
+    mutant = _clone(trace)
+    records = _records(mutant, rank)
+    records[idx], records[idx + 1] = records[idx + 1], records[idx]
+    mutant[rank].invalidate()
+    return mutant, Fault(
+        kind="reorder", rank=rank, index=idx, seed=seed,
+        details={
+            "first": type(records[idx]).__name__,
+            "second": type(records[idx + 1]).__name__,
+        },
+    )
+
+
+def corrupt_size(trace: TraceSet, seed: int = 0) -> tuple[TraceSet, Fault]:
+    """Corrupt the byte count of one message endpoint (torn header):
+    the send and receive sizes no longer agree."""
+    rank, idx = _pick_site(trace, seed, "corrupt_size")
+    mutant = _clone(trace)
+    rec = _records(mutant, rank)[idx]
+    old = rec.size
+    # Deterministic, always-different, always-valid (non-negative).
+    rec.size = old * 2 + 1 + random.Random(seed).randrange(1024)
+    mutant[rank].invalidate()
+    return mutant, Fault(
+        kind="corrupt_size", rank=rank, index=idx, seed=seed,
+        details={"old_size": old, "new_size": rec.size},
+    )
+
+
+def truncate_rank(trace: TraceSet, seed: int = 0) -> tuple[TraceSet, Fault]:
+    """Cut one rank's stream short (a crashed writer / torn trace
+    file): everything from a random record onward is lost."""
+    rng = random.Random(seed)
+    candidates = [p.rank for p in trace if len(p.records) > 1]
+    if not candidates:
+        raise FaultInjectionError("cannot inject 'truncate': streams too short")
+    rank = rng.choice(candidates)
+    records = trace[rank].records
+    cut = rng.randrange(1, len(records))
+    mutant = _clone(trace)
+    removed = len(records) - cut
+    del _records(mutant, rank)[cut:]
+    mutant[rank].invalidate()
+    return mutant, Fault(
+        kind="truncate", rank=rank, index=cut, seed=seed,
+        details={"removed": removed},
+    )
+
+
+def skew_timestamps(trace: TraceSet, seed: int = 0) -> tuple[TraceSet, Fault]:
+    """Scale every compute burst of one rank by a random factor in
+    [0.5, 2.0].  Structurally benign — the mutant stays valid and
+    replayable — so it exercises determinism and perturbation paths
+    rather than error paths."""
+    rng = random.Random(seed)
+    candidates = [
+        p.rank for p in trace
+        if any(isinstance(r, CpuBurst) for r in p.records)
+    ]
+    if not candidates:
+        raise FaultInjectionError("cannot inject 'skew': no compute bursts")
+    rank = rng.choice(candidates)
+    factor = 0.5 + 1.5 * rng.random()
+    mutant = _clone(trace)
+    first = None
+    for i, rec in enumerate(_records(mutant, rank)):
+        if isinstance(rec, CpuBurst):
+            rec.duration *= factor
+            if first is None:
+                first = i
+    mutant[rank].invalidate()
+    return mutant, Fault(
+        kind="skew", rank=rank, index=first if first is not None else 0,
+        seed=seed, details={"factor": factor},
+    )
+
+
+#: Dispatcher table: fault kind -> injector.
+FAULT_KINDS: dict = {
+    "drop": drop_record,
+    "duplicate": duplicate_record,
+    "reorder": reorder_records,
+    "corrupt_size": corrupt_size,
+    "truncate": truncate_rank,
+    "skew": skew_timestamps,
+}
+
+
+def inject(trace: TraceSet, kind: str, seed: int = 0) -> tuple[TraceSet, Fault]:
+    """Apply one named fault to a copy of ``trace``.
+
+    Deterministic in ``(trace, kind, seed)``; the original trace is
+    never modified.  Raises :class:`FaultInjectionError` when the
+    trace has no site the fault applies to, and :class:`KeyError` for
+    an unknown kind (see :data:`FAULT_KINDS`).
+    """
+    try:
+        injector = FAULT_KINDS[kind]
+    except KeyError:
+        raise KeyError(
+            f"unknown fault kind {kind!r}; pick from {sorted(FAULT_KINDS)}"
+        ) from None
+    return injector(trace, seed=seed)

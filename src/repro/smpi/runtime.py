@@ -39,7 +39,20 @@ class RuntimeError_(RuntimeError):
 
 
 class DeadlockError(RuntimeError_):
-    """No rank can make progress and at least one has not finished."""
+    """No rank can make progress and at least one has not finished.
+
+    ``blocked`` carries the structured per-rank state: a list of
+    ``(rank, description)`` pairs, where the description is the
+    blocking call's own account of what it waits for (e.g.
+    ``"recv(source=3, tag=0, ...)"``).
+    """
+
+    def __init__(self, blocked: list[tuple[int, str]]):
+        self.blocked = list(blocked)
+        super().__init__(
+            "simulated MPI deadlock; blocked ranks:\n"
+            + "\n".join(f"  rank {r}: {d or '<unknown>'}" for r, d in self.blocked)
+        )
 
 
 class RankFailedError(RuntimeError_):
@@ -241,11 +254,7 @@ class Runtime:
                     if not unfinished:
                         break
                     raise DeadlockError(
-                        "simulated MPI deadlock; blocked ranks:\n"
-                        + "\n".join(
-                            f"  rank {st.rank}: {st.blocked_desc or '<unknown>'}"
-                            for st in unfinished
-                        )
+                        [(st.rank, st.blocked_desc) for st in unfinished]
                     )
                 rank = self._ready.pop(0)
                 st = self._ranks[rank]

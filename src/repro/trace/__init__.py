@@ -18,12 +18,13 @@ from .records import (
     TraceSet,
     Wait,
 )
-from .validate import ValidationError, ValidationReport, validate
+from .validate import ValidationError, ValidationIssue, ValidationReport, validate
 from . import dim, filters, prv
 
 __all__ = [
     "AccessProfile", "CHANNEL_APP", "CHANNEL_CHUNK", "CHANNEL_COLLECTIVE",
     "CollOp", "CpuBurst", "Event", "GlobalOp", "IRecv", "ISend",
     "ProcessTrace", "Recv", "Record", "Send", "TraceSet", "Wait",
-    "ValidationError", "ValidationReport", "validate", "dim", "filters", "prv",
+    "ValidationError", "ValidationIssue", "ValidationReport", "validate",
+    "dim", "filters", "prv",
 ]

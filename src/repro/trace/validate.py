@@ -25,11 +25,41 @@ from .records import (
     Wait,
 )
 
-__all__ = ["ValidationError", "ValidationReport", "validate"]
+__all__ = ["ValidationError", "ValidationIssue", "ValidationReport", "validate"]
+
+
+class ValidationIssue(str):
+    """One validation finding: a message with a structured location.
+
+    A ``str`` subclass, so code that formats or substring-matches
+    issues keeps working unchanged; ``rank`` and ``record`` expose the
+    location machine-readably (``None`` when the finding is global or
+    not tied to one record), letting fault-injection tests assert that
+    the *right* rank/record was blamed.
+    """
+
+    rank: int | None
+    record: int | None
+
+    def __new__(
+        cls, msg: str, rank: int | None = None, record: int | None = None,
+    ) -> "ValidationIssue":
+        self = super().__new__(cls, msg)
+        self.rank = rank
+        self.record = record
+        return self
 
 
 class ValidationError(ValueError):
-    """Raised by :func:`validate` in strict mode when issues are found."""
+    """Raised by :func:`validate` in strict mode when issues are found.
+
+    ``report`` carries the full :class:`ValidationReport` (the message
+    shows at most the first 20 issues).
+    """
+
+    def __init__(self, msg: str, report: "ValidationReport | None" = None):
+        super().__init__(msg)
+        self.report = report
 
 
 @dataclass
@@ -37,17 +67,25 @@ class ValidationReport:
     """Outcome of trace validation.
 
     ``issues`` is empty for a well-formed trace.  Each issue is a
-    human-readable string prefixed with ``rank=`` or ``global:``.
+    :class:`ValidationIssue` — a human-readable string prefixed with
+    ``rank=`` or ``global:`` that also carries ``rank`` / ``record``
+    attributes locating the finding.
     """
 
-    issues: list[str] = field(default_factory=list)
+    issues: list[ValidationIssue] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return not self.issues
 
-    def add(self, msg: str) -> None:
-        self.issues.append(msg)
+    def add(
+        self, msg: str, rank: int | None = None, record: int | None = None,
+    ) -> None:
+        self.issues.append(ValidationIssue(msg, rank=rank, record=record))
+
+    def for_rank(self, rank: int) -> list[ValidationIssue]:
+        """The issues attributed to one rank."""
+        return [i for i in self.issues if i.rank == rank]
 
     def __bool__(self) -> bool:
         return self.ok
@@ -89,29 +127,54 @@ def validate(trace: TraceSet, strict: bool = False) -> ValidationReport:
             where = f"rank={proc.rank} record={i}"
             if isinstance(rec, CpuBurst):
                 if rec.duration < 0:
-                    report.add(f"{where}: negative burst duration {rec.duration}")
+                    report.add(
+                        f"{where}: negative burst duration {rec.duration}",
+                        rank=proc.rank, record=i,
+                    )
             elif isinstance(rec, (Send, ISend)):
-                sends[_matching_key(proc.rank, rec.peer, rec)].append((where, rec.size))
+                sends[_matching_key(proc.rank, rec.peer, rec)].append(
+                    (proc.rank, i, rec.size)
+                )
                 if rec.peer >= trace.nranks:
-                    report.add(f"{where}: send to out-of-range rank {rec.peer}")
+                    report.add(
+                        f"{where}: send to out-of-range rank {rec.peer}",
+                        rank=proc.rank, record=i,
+                    )
                 if isinstance(rec, ISend):
                     if rec.request in posted or rec.request in completed:
-                        report.add(f"{where}: duplicate request id {rec.request}")
+                        report.add(
+                            f"{where}: duplicate request id {rec.request}",
+                            rank=proc.rank, record=i,
+                        )
                     posted.add(rec.request)
             elif isinstance(rec, (Recv, IRecv)):
-                recvs[_matching_key(rec.peer, proc.rank, rec)].append((where, rec.size))
+                recvs[_matching_key(rec.peer, proc.rank, rec)].append(
+                    (proc.rank, i, rec.size)
+                )
                 if rec.peer >= trace.nranks:
-                    report.add(f"{where}: recv from out-of-range rank {rec.peer}")
+                    report.add(
+                        f"{where}: recv from out-of-range rank {rec.peer}",
+                        rank=proc.rank, record=i,
+                    )
                 if isinstance(rec, IRecv):
                     if rec.request in posted or rec.request in completed:
-                        report.add(f"{where}: duplicate request id {rec.request}")
+                        report.add(
+                            f"{where}: duplicate request id {rec.request}",
+                            rank=proc.rank, record=i,
+                        )
                     posted.add(rec.request)
             elif isinstance(rec, Wait):
                 for req in rec.requests:
                     if req in completed:
-                        report.add(f"{where}: request {req} waited twice")
+                        report.add(
+                            f"{where}: request {req} waited twice",
+                            rank=proc.rank, record=i,
+                        )
                     elif req not in posted:
-                        report.add(f"{where}: wait on unknown request {req}")
+                        report.add(
+                            f"{where}: wait on unknown request {req}",
+                            rank=proc.rank, record=i,
+                        )
                     else:
                         posted.discard(req)
                         completed.add(req)
@@ -120,11 +183,15 @@ def validate(trace: TraceSet, strict: bool = False) -> ValidationReport:
             elif isinstance(rec, Event):
                 pass
             else:  # pragma: no cover - defensive
-                report.add(f"{where}: unknown record type {type(rec).__name__}")
+                report.add(
+                    f"{where}: unknown record type {type(rec).__name__}",
+                    rank=proc.rank, record=i,
+                )
         if posted:
             report.add(
                 f"rank={proc.rank}: {len(posted)} request(s) never waited: "
-                f"{sorted(posted)[:8]}"
+                f"{sorted(posted)[:8]}",
+                rank=proc.rank,
             )
         collectives.append(coll_seq)
 
@@ -135,11 +202,13 @@ def validate(trace: TraceSet, strict: bool = False) -> ValidationReport:
             report.add(
                 f"global: key {key}: {len(s)} send(s) vs {len(r)} recv(s)"
             )
-        for (swhere, ssize), (rwhere, rsize) in zip(s, r):
+        for (srank, srec, ssize), (rrank, rrec, rsize) in zip(s, r):
             if ssize != rsize:
                 report.add(
                     f"global: size mismatch on key {key}: "
-                    f"{swhere} sends {ssize} bytes, {rwhere} expects {rsize}"
+                    f"rank={srank} record={srec} sends {ssize} bytes, "
+                    f"rank={rrank} record={rrec} expects {rsize}",
+                    rank=srank, record=srec,
                 )
 
     # Collective alignment, per communicator context: every rank that
@@ -172,6 +241,7 @@ def validate(trace: TraceSet, strict: bool = False) -> ValidationReport:
     if strict and not report.ok:
         raise ValidationError(
             f"trace validation failed with {len(report.issues)} issue(s):\n"
-            + "\n".join(report.issues[:20])
+            + "\n".join(report.issues[:20]),
+            report=report,
         )
     return report

@@ -1,0 +1,200 @@
+"""Self-healing caches: quarantine and rebuild of corrupt entries.
+
+Every corruption a killed or buggy writer can produce — truncation,
+bit-flips, garbage, stale schema, orphaned staging files — must be
+detected on load, moved into ``quarantine/`` for inspection, and
+transparently rebuilt.  A corrupted cache may cost time, never
+correctness.
+"""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.dimemas.machine import MachineConfig
+from repro.dimemas.replay import simulate
+from repro.experiments.cache import (
+    SimResultCache,
+    TraceCache,
+    sweep_cache_dir,
+    trace_digest,
+)
+from repro.trace import dim
+from repro.tracer import run_traced
+from tests.conftest import make_pipeline_app
+
+MACHINE = MachineConfig(bandwidth_mbps=100.0, latency=10e-6, buses=4)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return run_traced(make_pipeline_app(), 4, mips=1000.0).trace
+
+
+def quarantined(directory):
+    qdir = directory / "quarantine"
+    return sorted(qdir.iterdir()) if qdir.is_dir() else []
+
+
+class TestTraceCacheHealing:
+    def seed(self, tmp_path, trace):
+        cache = TraceCache(tmp_path)
+        key = cache.key(app="pipeline", nranks=4)
+        cache.load_or_build(key, lambda: trace)
+        return cache, key, cache.path_for(key)
+
+    @pytest.mark.parametrize("damage", [
+        lambda t: t[: len(t) // 2],              # truncated by a kill
+        lambda t: "!! not a trace !!\n",         # garbage
+        lambda t: t.rsplit("#CACHE:", 1)[0],     # trailer lost (pre-schema)
+        lambda t: t.replace("CACHE:v=1", "CACHE:v=0"),   # stale schema
+    ])
+    def test_bad_entry_quarantined_and_rebuilt(self, tmp_path, trace, damage):
+        cache, key, path = self.seed(tmp_path, trace)
+        good = dim.dumps(trace)
+        path.write_text(damage(path.read_text()))
+
+        fresh = TraceCache(tmp_path)
+        rebuilt = fresh.load_or_build(key, lambda: trace)
+        assert dim.dumps(rebuilt) == good
+        assert fresh.rebuilt == 1 and fresh.misses == 1
+        assert len(quarantined(tmp_path)) == 1
+        # the healed entry verifies: next open is a clean hit
+        again = TraceCache(tmp_path)
+        again.load_or_build(key, lambda: pytest.fail("should be cached"))
+        assert again.hits == 1 and again.rebuilt == 0
+
+    def test_repeated_quarantine_preserves_evidence(self, tmp_path, trace):
+        cache, key, path = self.seed(tmp_path, trace)
+        for _ in range(3):
+            path.write_text("garbage\n")
+            cache.load_or_build(key, lambda: trace)
+        # three distinct corpses, none clobbered
+        assert len(quarantined(tmp_path)) == 3
+
+
+class TestSimResultCacheHealing:
+    def seed(self, tmp_path, trace):
+        cache = SimResultCache(tmp_path)
+        result = cache.load_or_simulate(trace, MACHINE)
+        return cache, cache.key(trace, MACHINE), result
+
+    @pytest.mark.parametrize("damage", [
+        lambda t: t[:-10],                       # truncated
+        lambda t: t.replace('"duration"', '"duraXion"', 1),  # bit flip
+        lambda t: json.dumps(json.loads(t)["result"]),  # pre-envelope entry
+        lambda t: t.replace('"schema":1', '"schema":99', 1),  # future schema
+    ])
+    def test_bad_entry_requarantined_and_resimulated(self, tmp_path, trace,
+                                                     damage):
+        cache, key, result = self.seed(tmp_path, trace)
+        path = cache.path_for(key)
+        path.write_text(damage(path.read_text()))
+
+        fresh = SimResultCache(tmp_path)
+        healed = fresh.load_or_simulate(trace, MACHINE)
+        assert fresh.rebuilt == 1 and fresh.misses == 1
+        assert len(quarantined(tmp_path)) == 1
+        # the healed value is the true simulation, bit for bit
+        truth = simulate(trace, MACHINE)
+        assert healed.duration == truth.duration
+        assert healed.rank_end == truth.rank_end
+        assert SimResultCache(tmp_path).load(key).duration == truth.duration
+
+    def test_corrupt_entry_never_returns_garbage(self, tmp_path, trace):
+        # a bit-flip *inside* a number must not surface as a wrong value
+        cache, key, result = self.seed(tmp_path, trace)
+        path = cache.path_for(key)
+        text = path.read_text()
+        dur = repr(result.duration)
+        assert dur in text
+        path.write_text(text.replace(dur, repr(result.duration * 10), 1))
+        assert SimResultCache(tmp_path).load(key) is None
+
+    def test_malformed_digest_quarantined(self, tmp_path, trace):
+        cache = SimResultCache(tmp_path)
+        cache.put_digest("speckey", trace_digest(trace))
+        assert cache.get_digest("speckey") == trace_digest(trace)
+        (tmp_path / "speckey.digest").write_text("ZZ-not-hex")
+        assert cache.get_digest("speckey") is None
+        assert len(quarantined(tmp_path)) == 1
+        # healable: a rewrite works again
+        cache.put_digest("speckey", trace_digest(trace))
+        assert cache.get_digest("speckey") == trace_digest(trace)
+
+
+class TestOrphanSweep:
+    DEAD_PID = 2 ** 22 + 12345  # beyond default pid_max: never alive
+
+    def test_dead_writer_tmp_swept_on_open(self, tmp_path):
+        orphan = tmp_path / f"abc123.dim.{self.DEAD_PID}.tmp"
+        orphan.write_text("half-written")
+        TraceCache(tmp_path)
+        assert not orphan.exists()
+
+    def test_live_writer_tmp_kept(self, tmp_path):
+        busy = tmp_path / f"abc123.dim.{os.getpid()}.tmp"
+        busy.write_text("mid-publish")
+        TraceCache(tmp_path)
+        assert busy.exists()
+
+    def test_sweep_cache_dir_removes_own_tmps_too(self, tmp_path):
+        # the Ctrl-C path: even this process's staging files are garbage
+        for sub in ("traces", "replays"):
+            d = tmp_path / sub
+            d.mkdir()
+            (d / f"k.x.{os.getpid()}.tmp").write_text("")
+            (d / f"k.y.{self.DEAD_PID}.tmp").write_text("")
+        assert sweep_cache_dir(tmp_path) == 4
+        assert not list(tmp_path.rglob("*.tmp"))
+
+
+def _heal_worker(directory, barrier, q):
+    """Race a rebuild of one corrupted entry against a sibling process."""
+    cache = TraceCache(directory)
+    key = cache.key(app="pipeline", nranks=4)
+    built = []
+
+    def build():
+        built.append(1)
+        return run_traced(make_pipeline_app(), 4, mips=1000.0).trace
+
+    barrier.wait()
+    trace = cache.load_or_build(key, build)
+    q.put((dim.dumps(trace), len(built)))
+
+
+class TestConcurrentHealing:
+    def test_corrupt_entry_healed_under_concurrent_writers(self, tmp_path,
+                                                           trace):
+        cache = TraceCache(tmp_path)
+        key = cache.key(app="pipeline", nranks=4)
+        cache.load_or_build(key, lambda: trace)
+        cache.path_for(key).write_text("corrupted beyond repair\n")
+
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(2)
+        q = ctx.Queue()
+        procs = [
+            ctx.Process(target=_heal_worker, args=(str(tmp_path), barrier, q))
+            for _ in range(2)
+        ]
+        for p in procs:
+            p.start()
+        outs = [q.get(timeout=120) for _ in range(2)]
+        for p in procs:
+            p.join(timeout=120)
+            assert p.exitcode == 0
+
+        # both racers got the true trace, no matter who quarantined
+        good = dim.dumps(trace)
+        assert [o[0] for o in outs] == [good, good]
+        assert sum(o[1] for o in outs) >= 1  # somebody rebuilt
+        # the corpse is in quarantine and the published entry verifies
+        assert quarantined(tmp_path)
+        healed = TraceCache(tmp_path)
+        healed.load_or_build(key, lambda: pytest.fail("should be cached"))
+        assert healed.hits == 1
+        assert not list(tmp_path.glob("*.tmp"))

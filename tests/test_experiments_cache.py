@@ -148,7 +148,9 @@ class TestConcurrentWriters:
         assert outs[0] == outs[1]
         files = list(tmp_path.glob("*.dim"))
         assert len(files) == 1
-        assert files[0].read_text() == outs[0]
+        # published entry = serialized trace + one checksum trailer line
+        body, trailer, end = files[0].read_text().rpartition("#CACHE:")
+        assert body == outs[0] and trailer and end.endswith("\n")
         assert not list(tmp_path.glob("*.tmp"))
 
 
@@ -173,6 +175,7 @@ class TestSimResultCache:
             output_ports=2, cpu_ratio=2.0, cores_per_node=2,
             intra_latency=2e-6, intra_bandwidth_mbps=1000.0,
             eager_threshold=1024, collective_model_factor=2.0,
+            max_events=1_000_000, max_sim_time=3600.0,
         )
         # the variation list covers the whole platform: adding a new
         # MachineConfig knob must extend this test
