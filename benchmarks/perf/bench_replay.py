@@ -15,7 +15,14 @@ Measures two things and writes them to ``BENCH_replay.json``:
 Usage::
 
     PYTHONPATH=src python benchmarks/perf/bench_replay.py \
-        [--nranks 16] [--jobs 4] [--apps sweep3d,bt,cg] [-o out.json]
+        [--nranks 16] [--jobs 4] [--apps sweep3d,bt,cg] [-o out.json] \
+        [--metrics-out metrics.json] [--obs-dir DIR] [--profile]
+
+``--metrics-out`` dumps the final observability-registry snapshot
+(cache hit/miss totals including pool workers, per-stage wall-clock
+histograms); ``--obs-dir``/``--profile`` additionally record a run
+manifest and a Perfetto trace of the benchmark itself.  CI uploads
+these as artifacts next to ``BENCH_replay.json``.
 """
 
 from __future__ import annotations
@@ -123,8 +130,23 @@ def main(argv: list[str] | None = None) -> int:
                     help="comma-separated pool subset")
     ap.add_argument("-o", "--output",
                     default=str(Path(__file__).parent / "BENCH_replay.json"))
+    ap.add_argument("--metrics-out", default=None, metavar="FILE",
+                    help="write the observability metrics snapshot here")
+    ap.add_argument("--obs-dir", default=None, metavar="DIR",
+                    help="record a run manifest (and, with --profile, a "
+                         "Perfetto trace) under this directory")
+    ap.add_argument("--profile", action="store_true",
+                    help="span-trace the benchmark itself")
     args = ap.parse_args(argv)
     apps = args.apps.split(",")
+
+    from repro import obs
+    run = None
+    if args.profile:
+        obs.enable()
+    if args.obs_dir or args.profile:
+        run = obs.RunContext(args.obs_dir or ".repro-obs",
+                             command="bench-replay")
 
     print(f"replay throughput (nranks={args.nranks}) ...", flush=True)
     throughput = bench_throughput(args.nranks)
@@ -174,6 +196,20 @@ def main(argv: list[str] | None = None) -> int:
     }
     Path(args.output).write_text(json.dumps(doc, indent=1) + "\n")
     print(f"wrote {args.output}")
+
+    if run is not None:
+        spans = run.drain_spans()
+        if args.profile and spans:
+            obs.write_chrome_trace(run.dir / "trace.json", spans)
+        run.finalize(status="ok" if identical else "divergent",
+                     bench=doc["fig6_grid"])
+        print(f"run manifest: {run.manifest_path}")
+    if args.metrics_out:
+        obs.write_metrics(args.metrics_out, obs.get_registry(),
+                          run_id=run.run_id if run else None)
+        print(f"wrote {args.metrics_out}")
+    if args.profile:
+        obs.disable()
 
     if not identical:
         print("ERROR: parallel/warm runs diverged from the serial path",

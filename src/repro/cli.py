@@ -14,7 +14,9 @@ Four entry points mirror the tool chain of paper Figure 3:
 from __future__ import annotations
 
 import argparse
+import contextlib
 import functools
+import os
 import sys
 
 from .apps import APPS, get_app
@@ -53,6 +55,71 @@ def _interruptible(fn):
             return EXIT_INTERRUPTED
 
     return wrapper
+
+
+def _obs_args(ap: argparse.ArgumentParser) -> None:
+    """The shared observability options (every entry point gets them)."""
+    g = ap.add_argument_group("observability")
+    g.add_argument("--profile", action="store_true",
+                   help="trace pipeline spans; writes a Perfetto-loadable "
+                        "trace.json into the run directory and prints a "
+                        "span summary on stderr")
+    g.add_argument("--metrics-out", default=None, metavar="FILE",
+                   help="write the final metrics snapshot (counters, "
+                        "gauges, histogram percentiles) as JSON")
+    g.add_argument("--obs-dir", default=None, metavar="DIR",
+                   help="parent directory for run manifests and event "
+                        "logs (default: $REPRO_OBS_DIR, else .repro-obs "
+                        "next to the cwd when a run is recorded)")
+    g.add_argument("-v", "--verbose", action="count", default=0,
+                   help="more stderr logging (-vv for debug)")
+    g.add_argument("-q", "--quiet", action="store_true",
+                   help="errors only; also suppresses the span summary")
+
+
+@contextlib.contextmanager
+def _observed(args: argparse.Namespace, command: str):
+    """Run-manifest + profiling lifecycle around one CLI invocation.
+
+    Spans are enabled for ``--profile``; a run directory (manifest +
+    JSONL event log, plus trace.json when profiling) is created when
+    any of ``--profile`` / ``--metrics-out`` / ``--obs-dir`` /
+    ``$REPRO_OBS_DIR`` asks for observability.  Without those flags
+    this is a no-op apart from logger configuration, so existing
+    workflows see no new files.
+    """
+    from . import obs
+
+    obs.configure_logging(verbosity=args.verbose, quiet=args.quiet)
+    obs_dir = args.obs_dir or os.environ.get("REPRO_OBS_DIR")
+    observed = bool(args.profile or args.metrics_out or obs_dir)
+    if not observed:
+        yield None
+        return
+    if args.profile:
+        obs.enable()
+    run = obs.RunContext(obs_dir or ".repro-obs", command=command)
+    status = "ok"
+    try:
+        yield run
+    except BaseException:
+        status = "error"
+        raise
+    finally:
+        reg = obs.get_registry()
+        spans_ = run.drain_spans()
+        if args.profile and spans_:
+            obs.write_chrome_trace(run.dir / "trace.json", spans_)
+        if args.metrics_out:
+            obs.write_metrics(args.metrics_out, reg, run_id=run.run_id)
+        run.finalize(status=status)
+        if args.profile:
+            obs.disable()
+            if not args.quiet:
+                if spans_:
+                    print(obs.span_summary_table(spans_), file=sys.stderr)
+                print(f"run {run.run_id}: artifacts in {run.dir}",
+                      file=sys.stderr)
 
 
 def _machine_args(ap: argparse.ArgumentParser) -> None:
@@ -116,14 +183,16 @@ def main_trace(argv: list[str] | None = None) -> int:
     ap.add_argument("--mips", type=float, default=2300.0)
     ap.add_argument("--streams", action="store_true",
                     help="record full access streams (Figure 5 data)")
+    _obs_args(ap)
     args = ap.parse_args(argv)
 
-    app = get_app(args.app)
-    run = app.trace(nranks=args.nranks, mips=args.mips,
-                    record_streams=args.streams)
-    dim.dump(run.trace, args.output)
-    print(f"traced {args.app} on {args.nranks} ranks -> {args.output} "
-          f"({run.trace.total_records()} records)")
+    with _observed(args, "repro-trace"):
+        app = get_app(args.app)
+        run = app.trace(nranks=args.nranks, mips=args.mips,
+                        record_streams=args.streams)
+        dim.dump(run.trace, args.output)
+        print(f"traced {args.app} on {args.nranks} ranks -> {args.output} "
+              f"({run.trace.total_records()} records)")
     return 0
 
 
@@ -141,22 +210,24 @@ def main_overlap(argv: list[str] | None = None) -> int:
     ap.add_argument("--ideal", action="store_true",
                     help="generate the ideal-pattern trace instead")
     ap.add_argument("--no-double-buffering", action="store_true")
+    _obs_args(ap)
     args = ap.parse_args(argv)
 
-    trace = dim.load(args.trace)
-    if args.ideal:
-        out, stats = ideal_transform(
-            trace, chunks=args.chunks,
-            double_buffering=not args.no_double_buffering,
-        )
-    else:
-        out, stats = overlap_transform(trace, OverlapConfig(
-            chunks=args.chunks,
-            double_buffering=not args.no_double_buffering,
-        ))
-    dim.dump(out, args.output)
-    print(f"transformed {stats.messages_transformed}/{stats.messages_total} "
-          f"messages into {stats.chunks_created} chunks -> {args.output}")
+    with _observed(args, "repro-overlap"):
+        trace = dim.load(args.trace)
+        if args.ideal:
+            out, stats = ideal_transform(
+                trace, chunks=args.chunks,
+                double_buffering=not args.no_double_buffering,
+            )
+        else:
+            out, stats = overlap_transform(trace, OverlapConfig(
+                chunks=args.chunks,
+                double_buffering=not args.no_double_buffering,
+            ))
+        dim.dump(out, args.output)
+        print(f"transformed {stats.messages_transformed}/{stats.messages_total} "
+              f"messages into {stats.chunks_created} chunks -> {args.output}")
     return 0
 
 
@@ -171,37 +242,40 @@ def main_simulate(argv: list[str] | None = None) -> int:
     _machine_args(ap)
     ap.add_argument("--gantt", action="store_true",
                     help="print an ASCII Gantt of the reconstruction")
-    ap.add_argument("--profile", action="store_true",
-                    help="print the per-rank state profile")
+    ap.add_argument("--state-profile", action="store_true",
+                    help="print the per-rank state profile "
+                         "(--profile traces the pipeline itself)")
     ap.add_argument("--prv", help="export a Paraver .prv trace to this path")
     ap.add_argument("--svg", help="export an SVG timeline to this path")
     ap.add_argument("--json", help="export the reconstruction as JSON")
     ap.add_argument("--width", type=int, default=100)
+    _obs_args(ap)
     args = ap.parse_args(argv)
 
-    trace = dim.load(args.trace)
-    result, code = _replay(trace, _machine(args))
-    if result is None:
-        return code
-    print(f"simulated {result.nranks} ranks: makespan {result.duration * 1e6:.1f} us, "
-          f"{len(result.messages)} messages, "
-          f"parallel efficiency {result.parallel_efficiency * 100:.1f}%")
-    print(f"comm: {comm_stats(result)}")
-    if args.gantt:
-        print(render_gantt(result, width=args.width))
-    if args.profile:
-        print(profile_table(result))
-    if args.prv:
-        prv.write_prv(result, args.prv)
-        prv.write_pcf(args.prv.rsplit(".", 1)[0] + ".pcf")
-        print(f"wrote {args.prv}")
-    if args.svg:
-        from .paraver.svg import write_svg
-        write_svg(result, args.svg)
-        print(f"wrote {args.svg}")
-    if args.json:
-        result.to_json(args.json)
-        print(f"wrote {args.json}")
+    with _observed(args, "repro-simulate"):
+        trace = dim.load(args.trace)
+        result, code = _replay(trace, _machine(args))
+        if result is None:
+            return code
+        print(f"simulated {result.nranks} ranks: makespan {result.duration * 1e6:.1f} us, "
+              f"{len(result.messages)} messages, "
+              f"parallel efficiency {result.parallel_efficiency * 100:.1f}%")
+        print(f"comm: {comm_stats(result)}")
+        if args.gantt:
+            print(render_gantt(result, width=args.width))
+        if args.state_profile:
+            print(profile_table(result))
+        if args.prv:
+            prv.write_prv(result, args.prv)
+            prv.write_pcf(args.prv.rsplit(".", 1)[0] + ".pcf")
+            print(f"wrote {args.prv}")
+        if args.svg:
+            from .paraver.svg import write_svg
+            write_svg(result, args.svg)
+            print(f"wrote {args.svg}")
+        if args.json:
+            result.to_json(args.json)
+            print(f"wrote {args.json}")
     return 0
 
 
@@ -225,40 +299,42 @@ def main_analyze(argv: list[str] | None = None) -> int:
     ap.add_argument("--simulate", action="store_true",
                     help="also replay and print profile + critical path")
     _machine_args(ap)
+    _obs_args(ap)
     args = ap.parse_args(argv)
 
     from .core.patterns import consumption_table, production_table
     from .core.phases import phase_overlap_potential
     from .trace.filters import trace_stats
 
-    trace = dim.load(args.trace)
-    st = trace_stats(trace)
-    print(f"trace: {st['nranks']} ranks, {st['records']} records, "
-          f"{st['messages']} messages, "
-          f"{st['virtual_compute_seconds'] * 1e3:.3f} ms compute")
-    for ch, nbytes in sorted(st["bytes_per_channel"].items()):
-        label = {0: "application", 1: "collective", 2: "chunk"}.get(ch, str(ch))
-        print(f"  channel {ch} ({label}): {nbytes} bytes")
+    with _observed(args, "repro-analyze"):
+        trace = dim.load(args.trace)
+        st = trace_stats(trace)
+        print(f"trace: {st['nranks']} ranks, {st['records']} records, "
+              f"{st['messages']} messages, "
+              f"{st['virtual_compute_seconds'] * 1e3:.3f} ms compute")
+        for ch, nbytes in sorted(st["bytes_per_channel"].items()):
+            label = {0: "application", 1: "collective", 2: "chunk"}.get(ch, str(ch))
+            print(f"  channel {ch} ({label}): {nbytes} bytes")
 
-    p = production_table(trace, channel=args.channel)
-    c = consumption_table(trace, channel=args.channel)
-    print("\nproduction pattern  (fraction of phase): "
-          f"1st={p.first_element:.4f} 1/4={p.quarter:.4f} "
-          f"1/2={p.half:.4f} all={p.whole:.4f}")
-    print("consumption pattern (fraction of phase): "
-          f"none={c.nothing:.4f} 1/4={c.quarter:.4f} 1/2={c.half:.4f}")
-    print(phase_overlap_potential(trace, channel=args.channel))
+        p = production_table(trace, channel=args.channel)
+        c = consumption_table(trace, channel=args.channel)
+        print("\nproduction pattern  (fraction of phase): "
+              f"1st={p.first_element:.4f} 1/4={p.quarter:.4f} "
+              f"1/2={p.half:.4f} all={p.whole:.4f}")
+        print("consumption pattern (fraction of phase): "
+              f"none={c.nothing:.4f} 1/4={c.quarter:.4f} 1/2={c.half:.4f}")
+        print(phase_overlap_potential(trace, channel=args.channel))
 
-    if args.simulate:
-        from .paraver.critical import critical_path, render_path
-        result, code = _replay(trace, _machine(args))
-        if result is None:
-            return code
-        print(f"\nreplay: makespan {result.duration * 1e6:.1f} us, "
-              f"efficiency {result.parallel_efficiency * 100:.1f}%")
-        print(profile_table(result))
-        print()
-        print(render_path(critical_path(result)))
+        if args.simulate:
+            from .paraver.critical import critical_path, render_path
+            result, code = _replay(trace, _machine(args))
+            if result is None:
+                return code
+            print(f"\nreplay: makespan {result.duration * 1e6:.1f} us, "
+                  f"efficiency {result.parallel_efficiency * 100:.1f}%")
+            print(profile_table(result))
+            print()
+            print(render_path(critical_path(result)))
     return 0
 
 
@@ -271,6 +347,9 @@ def main_report(argv: list[str] | None = None) -> int:
     )
     ap.add_argument("--nranks", type=int, default=64)
     ap.add_argument("--no-bandwidth", action="store_true")
+    ap.add_argument("--apps", default=None, metavar="APP[,APP...]",
+                    help="comma-separated subset of the paper pool "
+                         "(default: all six applications)")
     ap.add_argument("-j", "--jobs", type=int, default=1,
                     help="worker processes for the replay grids "
                          "(default: 1, serial)")
@@ -278,11 +357,25 @@ def main_report(argv: list[str] | None = None) -> int:
                     help="persist traces and replay results in this "
                          "directory (shared by all workers; re-runs are "
                          "nearly free)")
+    ap.add_argument("--degraded", action="store_true",
+                    help="report FAILED rows instead of aborting when "
+                         "replays keep failing")
+    _obs_args(ap)
     args = ap.parse_args(argv)
     from .experiments.report import full_report
-    print(full_report(nranks=args.nranks,
-                      include_bandwidth=not args.no_bandwidth,
-                      jobs=args.jobs, cache_dir=args.cache_dir))
+    kwargs = {}
+    if args.apps:
+        apps = tuple(a.strip() for a in args.apps.split(",") if a.strip())
+        unknown = sorted(set(apps) - set(APPS))
+        if unknown:
+            ap.error(f"unknown apps: {', '.join(unknown)} "
+                     f"(choose from {', '.join(sorted(APPS))})")
+        kwargs["apps"] = apps
+    with _observed(args, "repro-report"):
+        print(full_report(nranks=args.nranks,
+                          include_bandwidth=not args.no_bandwidth,
+                          jobs=args.jobs, cache_dir=args.cache_dir,
+                          degraded=args.degraded, **kwargs))
     return 0
 
 

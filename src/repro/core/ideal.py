@@ -27,6 +27,7 @@ This module is a thin, documented front-end over
 
 from __future__ import annotations
 
+from ..obs import traced
 from ..trace.records import TraceSet
 from .chunking import DEFAULT_CHUNKS
 from .transform import OverlapConfig, TransformStats, overlap_transform
@@ -34,6 +35,7 @@ from .transform import OverlapConfig, TransformStats, overlap_transform
 __all__ = ["ideal_transform"]
 
 
+@traced("transform.ideal")
 def ideal_transform(
     trace: TraceSet,
     chunks: int = DEFAULT_CHUNKS,

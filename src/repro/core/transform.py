@@ -59,6 +59,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from ..obs import get_registry, traced
 from ..trace.records import (
     CHANNEL_CHUNK,
     CpuBurst,
@@ -333,6 +334,7 @@ def _stream_neighbors(trace: TraceSet):
 # The transformation proper.
 # --------------------------------------------------------------------------- #
 
+@traced("transform.overlap")
 def overlap_transform(
     trace: TraceSet,
     config: OverlapConfig | None = None,
@@ -478,6 +480,10 @@ def overlap_transform(
         "double_buffering": config.double_buffering,
     }
     stats.skipped_no_profile = stats.messages_total - stats.messages_transformed - stats.skipped_zero_size
+    reg = get_registry()
+    reg.counter("transform.runs").inc()
+    reg.counter("transform.messages_transformed").inc(stats.messages_transformed)
+    reg.counter("transform.chunks_created").inc(stats.chunks_created)
     return TraceSet(new_procs, meta=meta), stats
 
 

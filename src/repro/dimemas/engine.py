@@ -41,6 +41,9 @@ class WatchdogExpired(RuntimeError):
 class EventLoop:
     """Deterministic discrete-event loop."""
 
+    #: How often the depth sampler fires (every N executed events).
+    SAMPLE_EVERY = 256
+
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._seq = 0
@@ -48,6 +51,10 @@ class EventLoop:
         self.now = 0.0
         #: Number of events executed so far.
         self.executed = 0
+        #: Optional observability hook: called with the pending-queue
+        #: depth every :attr:`SAMPLE_EVERY` executed events.  ``None``
+        #: (the default) keeps the drain loop on its fast path.
+        self.depth_sampler: Callable[[int], None] | None = None
 
     def at(self, time: float, fn: Callable[[], None]) -> None:
         """Schedule ``fn`` at absolute ``time`` (>= now)."""
@@ -81,6 +88,8 @@ class EventLoop:
         never runs an event past the limit.
         """
         budget = math.inf if max_events is None else self.executed + max_events
+        sampler = self.depth_sampler
+        mask = self.SAMPLE_EVERY - 1
         while self._heap:
             if self.executed >= budget:
                 raise WatchdogExpired("max_events", self.now, self.executed)
@@ -89,6 +98,8 @@ class EventLoop:
             time, _, fn = heapq.heappop(self._heap)
             self.now = time
             self.executed += 1
+            if sampler is not None and not (self.executed & mask):
+                sampler(len(self._heap))
             fn()
         return self.now
 

@@ -52,9 +52,11 @@ ints instead of walking an ``isinstance`` chain), and runs of adjacent
 
 from __future__ import annotations
 
+import time
 import weakref
 from typing import Callable
 
+from ..obs import get_registry, is_enabled as _obs_enabled, span as _span
 from ..core.matching import (
     UnmatchedMessageError,
     match_messages_cached,
@@ -118,6 +120,8 @@ class _CollectiveSync:
         self.cfg = cfg
         self.loop = loop
         self._groups: dict[int, list] = {}
+        #: Collectives fully synchronized (observability).
+        self.completed = 0
 
     def enter(self, runner: "_RankRunner", rec: GlobalOp) -> None:
         group = self._groups.setdefault((rec.context, rec.seq), [])
@@ -127,6 +131,7 @@ class _CollectiveSync:
             t_enter = max(t for _, t, _ in group)
             cost = collective_cost(rec, expected, self.cfg)
             t_done = t_enter + cost
+            self.completed += 1
             del self._groups[(rec.context, rec.seq)]
             for r, _, _ in group:
                 self.loop.at(t_done, _make_resume(r, t_done))
@@ -395,7 +400,9 @@ _plan_cache: "weakref.WeakKeyDictionary[TraceSet, _ReplayPlan]" = (
 def _plan_for(trace: TraceSet) -> _ReplayPlan:
     plan = _plan_cache.get(trace)
     if plan is None or plan.fingerprint != tuple(len(p.records) for p in trace):
-        plan = _ReplayPlan(trace)
+        with _span("replay.plan", nranks=trace.nranks):
+            plan = _ReplayPlan(trace)
+        get_registry().counter("replay.plans_built").inc()
         _plan_cache[trace] = plan
     return plan
 
@@ -462,41 +469,79 @@ def simulate(
     diagnosable, never a hang.
     """
     cfg = machine or MachineConfig()
-    sim = _Simulation(trace, cfg)
-    for runner in sim.runners:
-        sim.loop.at(0.0, runner.advance)
-    budget_events = max_events if max_events is not None else cfg.max_events
-    budget_time = max_sim_time if max_sim_time is not None else cfg.max_sim_time
-    try:
-        sim.loop.run(max_events=budget_events, max_time=budget_time)
-    except WatchdogExpired as w:
-        raise SimulationTimeout(w.reason, build_report(sim, sim.unmatched)) from None
-
-    if any(not r.finished for r in sim.runners) or sim.coll._groups:
-        raise DeadlockError(build_report(sim, sim.unmatched))
-
-    messages = sorted(
-        (
-            MessageFlight(
-                src=t.src, dst=t.dst,
-                t_send=t.send_time, t_start=t.start_time,
-                t_recv=t.arrival_time, size=t.size, tag=t.tag,
+    metrics = get_registry()
+    t_begin = time.perf_counter()
+    sp = _span("replay.simulate", nranks=trace.nranks)
+    with sp:
+        sim = _Simulation(trace, cfg)
+        for runner in sim.runners:
+            sim.loop.at(0.0, runner.advance)
+        budget_events = max_events if max_events is not None else cfg.max_events
+        budget_time = max_sim_time if max_sim_time is not None else cfg.max_sim_time
+        if _obs_enabled():
+            # Sampled match/event-queue depth: the only hot-loop hook,
+            # and it stays None (one dead branch per event) unless
+            # span collection is on.
+            sim.loop.depth_sampler = (
+                metrics.histogram("replay.queue_depth").observe
             )
-            for t in sim.transfers
-            if t.arrival_time is not None and t.send_time is not None
-        ),
-        key=lambda m: (m.t_send, m.src, m.dst),
-    )
-    return SimResult(
-        nranks=trace.nranks,
-        duration=max((r.now for r in sim.runners), default=0.0),
-        rank_end=[r.now for r in sim.runners],
-        states=[r.states for r in sim.runners],
-        messages=messages,
-        events=[r.events for r in sim.runners],
-        network_stats={
-            "peak_active_transfers": sim.network.peak_active,
-            "wire_busy_seconds": sim.network.busy_seconds,
-            "events_executed": sim.loop.executed,
-        },
-    )
+        try:
+            with _span("replay.drain_queue", nranks=trace.nranks):
+                sim.loop.run(max_events=budget_events, max_time=budget_time)
+        except WatchdogExpired as w:
+            metrics.counter("replay.watchdog_expired").inc()
+            raise SimulationTimeout(
+                w.reason, build_report(sim, sim.unmatched)
+            ) from None
+
+        if any(not r.finished for r in sim.runners) or sim.coll._groups:
+            metrics.counter("replay.deadlocks").inc()
+            raise DeadlockError(build_report(sim, sim.unmatched))
+
+        messages = sorted(
+            (
+                MessageFlight(
+                    src=t.src, dst=t.dst,
+                    t_send=t.send_time, t_start=t.start_time,
+                    t_recv=t.arrival_time, size=t.size, tag=t.tag,
+                )
+                for t in sim.transfers
+                if t.arrival_time is not None and t.send_time is not None
+            ),
+            key=lambda m: (m.t_send, m.src, m.dst),
+        )
+        result = SimResult(
+            nranks=trace.nranks,
+            duration=max((r.now for r in sim.runners), default=0.0),
+            rank_end=[r.now for r in sim.runners],
+            states=[r.states for r in sim.runners],
+            messages=messages,
+            events=[r.events for r in sim.runners],
+            network_stats={
+                "peak_active_transfers": sim.network.peak_active,
+                "wire_busy_seconds": sim.network.busy_seconds,
+                "events_executed": sim.loop.executed,
+            },
+        )
+        # End-of-replay metric rollup: a handful of dict operations per
+        # *replay*, never per event, so the disabled-observability path
+        # stays within noise of uninstrumented code.
+        wall = time.perf_counter() - t_begin
+        metrics.counter("replay.runs").inc()
+        metrics.counter("replay.events").inc(sim.loop.executed)
+        metrics.counter("replay.collectives").inc(sim.coll.completed)
+        metrics.counter("replay.messages").inc(len(messages))
+        metrics.histogram("replay.wall_seconds").observe(wall)
+        if wall > 0:
+            metrics.histogram("replay.events_per_second").observe(
+                sim.loop.executed / wall
+            )
+        if result.duration > 0:
+            metrics.histogram("replay.bus_occupancy").observe(
+                sim.network.busy_seconds / result.duration
+            )
+        sp.annotate(
+            events=sim.loop.executed, sim_seconds=result.duration,
+            messages=len(messages),
+        )
+        return result

@@ -27,6 +27,7 @@ from __future__ import annotations
 import math
 from typing import Callable, Sequence
 
+from ..obs import get_registry, span as _span
 from .pipeline import AppExperiment
 
 __all__ = [
@@ -89,8 +90,11 @@ def bisect_bandwidth(
         raise ValueError(f"empty bracket: lo={lo} > hi={hi}")
     if rel_tol <= 0:
         raise ValueError(f"rel_tol must be positive, got {rel_tol}")
+    probes = get_registry().counter("bisect.probes")
+    probes.inc()
     if predicate(lo):
         return lo
+    probes.inc()
     if not predicate(hi):
         return math.inf
     llo, lhi = math.log(lo), math.log(hi)
@@ -98,6 +102,7 @@ def bisect_bandwidth(
         if (lhi - llo) <= math.log1p(rel_tol):
             break
         mid = 0.5 * (llo + lhi)
+        probes.inc()
         if predicate(math.exp(mid)):
             lhi = mid
         else:
@@ -152,6 +157,8 @@ def bisect_bandwidth_batched(
     if batch < 1:
         raise ValueError(f"batch must be >= 1, got {batch}")
     tol = math.log1p(rel_tol)
+    probes = get_registry().counter("bisect.probes")
+    probes.inc(2)
     lo_ok, hi_ok = predicate_many([lo, hi])
     if lo_ok and not hi_ok and math.log(hi) - math.log(lo) > tol:
         raise NonMonotonePredicateError(
@@ -180,6 +187,7 @@ def bisect_bandwidth_batched(
 
         _build(llo, lhi, depth, ())
         order = list(nodes)
+        probes.inc(len(order))
         answers = list(predicate_many([math.exp(nodes[p]) for p in order]))
         if len(answers) != len(order):
             raise ValueError(
@@ -235,19 +243,23 @@ def relaxation_bandwidth(
     (identical result, fewer sequential rounds).
     """
     base_bw = baseline_bw if baseline_bw is not None else exp.machine.bandwidth_mbps
-    target = exp.duration("original", bandwidth_mbps=base_bw)
-    threshold = target * (1 + slack)
+    with _span("bisect.relaxation", app=exp.app_name, variant=variant):
+        get_registry().counter("bisect.searches").inc()
+        target = exp.duration("original", bandwidth_mbps=base_bw)
+        threshold = target * (1 + slack)
 
-    if engine is not None:
-        predicate_many = engine.duration_predicate_many(exp, variant, threshold)
-        return bisect_bandwidth_batched(
-            predicate_many, hi=base_bw, rel_tol=rel_tol, batch=batch,
-        )
+        if engine is not None:
+            predicate_many = engine.duration_predicate_many(
+                exp, variant, threshold
+            )
+            return bisect_bandwidth_batched(
+                predicate_many, hi=base_bw, rel_tol=rel_tol, batch=batch,
+            )
 
-    def fast_enough(bw: float) -> bool:
-        return exp.duration(variant, bandwidth_mbps=bw) <= threshold
+        def fast_enough(bw: float) -> bool:
+            return exp.duration(variant, bandwidth_mbps=bw) <= threshold
 
-    return bisect_bandwidth(fast_enough, hi=base_bw, rel_tol=rel_tol)
+        return bisect_bandwidth(fast_enough, hi=base_bw, rel_tol=rel_tol)
 
 
 def equivalent_bandwidth(
@@ -266,16 +278,22 @@ def equivalent_bandwidth(
     :func:`relaxation_bandwidth`.
     """
     base_bw = baseline_bw if baseline_bw is not None else exp.machine.bandwidth_mbps
-    target = exp.duration(variant, bandwidth_mbps=base_bw)
-    threshold = target * (1 + slack)
+    with _span("bisect.equivalent", app=exp.app_name, variant=variant):
+        get_registry().counter("bisect.searches").inc()
+        target = exp.duration(variant, bandwidth_mbps=base_bw)
+        threshold = target * (1 + slack)
 
-    if engine is not None:
-        predicate_many = engine.duration_predicate_many(exp, "original", threshold)
-        return bisect_bandwidth_batched(
-            predicate_many, lo=base_bw * 0.999, rel_tol=rel_tol, batch=batch,
-        )
+        if engine is not None:
+            predicate_many = engine.duration_predicate_many(
+                exp, "original", threshold
+            )
+            return bisect_bandwidth_batched(
+                predicate_many, lo=base_bw * 0.999, rel_tol=rel_tol,
+                batch=batch,
+            )
 
-    def fast_enough(bw: float) -> bool:
-        return exp.duration("original", bandwidth_mbps=bw) <= threshold
+        def fast_enough(bw: float) -> bool:
+            return exp.duration("original", bandwidth_mbps=bw) <= threshold
 
-    return bisect_bandwidth(fast_enough, lo=base_bw * 0.999, rel_tol=rel_tol)
+        return bisect_bandwidth(fast_enough, lo=base_bw * 0.999,
+                                rel_tol=rel_tol)

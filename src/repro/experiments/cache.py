@@ -47,6 +47,7 @@ from typing import Callable
 from .. import __version__
 from ..dimemas.machine import MachineConfig
 from ..dimemas.results import SimResult
+from ..obs import get_registry, span as _span
 from ..trace import dim
 from ..trace.records import TraceSet
 
@@ -170,6 +171,7 @@ def _quarantine(path: Path, reason: str) -> None:
         return
     _log.warning("quarantined corrupt cache entry %s -> %s (%s)",
                  path, target, reason)
+    get_registry().counter("cache.quarantined").inc()
 
 
 #: Per-TraceSet memo of content digests (guarded by record counts, like
@@ -203,15 +205,24 @@ class TraceCache:
     version is quarantined and rebuilt instead of crashing the run.
     """
 
+    #: Metric-name prefix of this cache's registry counters.
+    METRIC_PREFIX = "cache.trace"
+
     def __init__(self, directory: str | Path):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         _sweep_orphan_tmps(self.directory)
         #: Diagnostics: how often the cache answered / had to build,
         #: and how many entries had to be quarantined and rebuilt.
+        #: Mirrored into the process metrics registry (and funneled to
+        #: the parent by pool workers) under ``cache.trace.*``.
         self.hits = 0
         self.misses = 0
         self.rebuilt = 0
+
+    def _count(self, what: str) -> None:
+        setattr(self, what, getattr(self, what) + 1)
+        get_registry().counter(f"{self.METRIC_PREFIX}.{what}").inc()
 
     @staticmethod
     def key(**fields) -> str:
@@ -263,11 +274,12 @@ class TraceCache:
         if path.exists():
             trace = self._verified_load(path)
             if trace is not None:
-                self.hits += 1
+                self._count("hits")
                 return trace
-            self.rebuilt += 1
-        self.misses += 1
-        trace = builder()
+            self._count("rebuilt")
+        self._count("misses")
+        with _span("cache.trace.build", key=key):
+            trace = builder()
         _stage_and_publish(path, self._seal(dim.dumps(trace)))
         return trace
 
@@ -300,13 +312,21 @@ class SimResultCache:
     silently returning garbage numbers.
     """
 
+    #: Metric-name prefix of this cache's registry counters.
+    METRIC_PREFIX = "cache.replay"
+
     def __init__(self, directory: str | Path):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         _sweep_orphan_tmps(self.directory)
+        #: Mirrored into the metrics registry under ``cache.replay.*``.
         self.hits = 0
         self.misses = 0
         self.rebuilt = 0
+
+    def _count(self, what: str) -> None:
+        setattr(self, what, getattr(self, what) + 1)
+        get_registry().counter(f"{self.METRIC_PREFIX}.{what}").inc()
 
     @staticmethod
     def key_for_digest(digest: str, machine: MachineConfig) -> str:
@@ -357,10 +377,10 @@ class SimResultCache:
                 ).hexdigest():
                     _quarantine(path, "payload checksum mismatch")
                 else:
-                    self.hits += 1
+                    self._count("hits")
                     return SimResult.from_dict(envelope["result"])
-            self.rebuilt += 1
-        self.misses += 1
+            self._count("rebuilt")
+        self._count("misses")
         return None
 
     def store(self, key: str, result: SimResult) -> None:

@@ -30,14 +30,23 @@ import itertools
 import logging
 import os
 import time
+import traceback as _tb
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Iterable, Mapping, Sequence
 
 from ..dimemas.machine import MachineConfig
 from ..dimemas.results import SimResult
+from ..obs import (
+    collect_worker_payload,
+    configure_worker,
+    current_run,
+    get_registry,
+    span as _span,
+    worker_config,
+)
 from .cache import SimResultCache, TraceCache
 from .pipeline import AppExperiment
 
@@ -167,12 +176,20 @@ class PointFailure:
     ``kind`` is ``"exception"`` (the replay raised), ``"timeout"`` (the
     point blew its wall-clock budget), or ``"pool_crash"`` (a worker
     process died while the point was in flight).
+
+    ``attempt_history`` keeps one ``(kind, seconds, error)`` triple per
+    attempt, in order, and ``traceback`` the formatted traceback of the
+    last attempt when one was available (remote tracebacks from pool
+    workers included) — :meth:`describe` stays a one-liner,
+    :meth:`detail` renders the full post-mortem.
     """
 
     point: GridPoint
     kind: str
     error: str
     attempts: int
+    attempt_history: tuple = field(default=())
+    traceback: str = ""
 
     def describe(self) -> str:
         return (
@@ -181,6 +198,18 @@ class PointFailure:
             f"lat={self.point.latency}): {self.kind} after "
             f"{self.attempts} attempt(s): {self.error}"
         )
+
+    def detail(self) -> str:
+        """Multi-line account: every attempt's fate plus the traceback."""
+        lines = [self.describe()]
+        for i, (kind, secs, error) in enumerate(self.attempt_history, 1):
+            lines.append(f"  attempt {i}: {kind} after {secs:.3f}s: {error}")
+        if self.traceback:
+            lines.append("  worker traceback (last attempt):")
+            lines.extend(
+                "    " + ln for ln in self.traceback.rstrip().splitlines()
+            )
+        return "\n".join(lines)
 
 
 class GridExecutionError(RuntimeError):
@@ -260,9 +289,10 @@ def _simulate_point(point: GridPoint, cache_dir: str | None, store: dict) -> Sim
 _WORKER: dict = {"cache_dir": None, "experiments": {}}
 
 
-def _worker_init(cache_dir: str | None) -> None:
+def _worker_init(cache_dir: str | None, obs_spec: dict | None = None) -> None:
     _WORKER["cache_dir"] = cache_dir
     _WORKER["experiments"] = {}
+    configure_worker(obs_spec)
 
 
 def _claim_marker(env_var: str) -> bool:
@@ -292,14 +322,40 @@ def _maybe_fault_for_tests() -> None:
         time.sleep(600.0)
 
 
-def _worker_result(point: GridPoint) -> SimResult:
+def _worker_result(point: GridPoint) -> tuple[SimResult, dict]:
+    """Replay one point; second element is the observability payload.
+
+    The payload (metric deltas, spans, pid) rides the existing result
+    pickle back to the parent, which merges it into its registry and —
+    when a run is open — the run's event log.  This is how cache
+    hit/miss counters and worker spans survive the process boundary.
+    """
     _maybe_fault_for_tests()
-    return _simulate_point(point, _WORKER["cache_dir"], _WORKER["experiments"])
+    res = _simulate_point(point, _WORKER["cache_dir"], _WORKER["experiments"])
+    return res, collect_worker_payload()
 
 
-def _worker_duration(point: GridPoint) -> float:
+def _worker_duration(point: GridPoint) -> tuple[float, dict]:
     _maybe_fault_for_tests()
-    return _simulate_point(point, _WORKER["cache_dir"], _WORKER["experiments"]).duration
+    res = _simulate_point(point, _WORKER["cache_dir"], _WORKER["experiments"])
+    return res.duration, collect_worker_payload()
+
+
+def _absorb_payload(payload: dict | None) -> None:
+    """Parent side of the worker funnel.
+
+    With a run open the payload feeds the run (registry + span set +
+    event log); without one the metric deltas still merge into the
+    process registry so counters like ``cache.replay.hits`` aggregate
+    across workers even when nobody asked for a run directory.
+    """
+    if not payload:
+        return
+    run = current_run()
+    if run is not None:
+        run.absorb_worker(payload)
+    else:
+        get_registry().merge_delta(payload.get("metrics"))
 
 
 # --------------------------------------------------------------------------- #
@@ -372,6 +428,10 @@ class ExperimentEngine:
         if pool is None:
             return
         _log.warning("experiment pool %s; recycling workers", reason)
+        get_registry().counter("engine.pool_recycles").inc()
+        run = current_run()
+        if run is not None:
+            run.record("pool_recycle", reason=reason)
         procs = getattr(pool, "_processes", None) or {}
         for proc in list(procs.values()):
             if proc.is_alive():
@@ -389,7 +449,7 @@ class ExperimentEngine:
             self._pool = ProcessPoolExecutor(
                 max_workers=self.jobs,
                 initializer=_worker_init,
-                initargs=(self.cache_dir,),
+                initargs=(self.cache_dir, worker_config()),
             )
         return self._pool
 
@@ -450,14 +510,20 @@ class ExperimentEngine:
         quarantined; its slot receives a :class:`PointFailure`.
         """
         retry = self.retry
+        reg = get_registry()
         pending: dict[Future, tuple[int, GridPoint, int, float]] = {}
+        #: Per-slot (kind, seconds, error) of every failed attempt so
+        #: far — becomes PointFailure.attempt_history on quarantine.
+        history: dict[int, list[tuple[str, float, str]]] = {}
 
         def submit(slot: int, point: GridPoint, attempt: int) -> None:
             fut = self._ensure_pool().submit(pool_fn, point)
             pending[fut] = (slot, point, attempt, time.monotonic())
 
         def settle(slot: int, point: GridPoint, attempt: int,
-                   kind: str, error: str) -> None:
+                   kind: str, error: str, elapsed: float,
+                   tb: str = "") -> None:
+            history.setdefault(slot, []).append((kind, elapsed, error))
             if attempt < retry.max_attempts:
                 delay = retry.delay(attempt)
                 _log.warning(
@@ -466,16 +532,24 @@ class ExperimentEngine:
                     point.app, point.variant, kind, attempt,
                     retry.max_attempts, error, delay,
                 )
+                reg.counter("engine.retries").inc()
                 if delay > 0:
                     time.sleep(delay)
                 submit(slot, point, attempt + 1)
                 return
             failure = PointFailure(
                 point=point, kind=kind, error=error, attempts=attempt,
+                attempt_history=tuple(history.get(slot, ())), traceback=tb,
             )
             self.quarantine[point] = failure
             failures.append(failure)
             out[slot] = failure
+            reg.counter("engine.quarantined").inc()
+            run = current_run()
+            if run is not None:
+                run.record("point_quarantined", app=point.app,
+                           variant=point.variant, kind=kind,
+                           attempts=attempt, error=error)
             _log.error("grid point quarantined: %s", failure.describe())
 
         for slot, point in indexed:
@@ -504,6 +578,7 @@ class ExperimentEngine:
                         settle(
                             slot, point, attempt, "timeout",
                             f"exceeded {retry.point_timeout:.3g}s wall clock",
+                            now - t0,
                         )
                     else:
                         submit(slot, point, attempt)
@@ -511,45 +586,63 @@ class ExperimentEngine:
             for fut in done:
                 if fut not in pending:
                     continue  # cleared by a pool-crash recovery below
-                slot, point, attempt, _ = pending.pop(fut)
+                slot, point, attempt, t0 = pending.pop(fut)
+                elapsed = time.monotonic() - t0
                 try:
-                    out[slot] = fut.result()
+                    value, payload = fut.result()
                 except BrokenProcessPool as exc:
                     # The dead worker poisons every in-flight future and
                     # the parent cannot tell which point killed it, so
                     # each one is charged an attempt (this bounds a
                     # reproducibly-crashing point to max_attempts pool
                     # restarts) and everything is resubmitted.
+                    now = time.monotonic()
                     victims = list(pending.values())
                     pending.clear()
                     self._discard_pool("broken (worker process died)")
                     err = f"{type(exc).__name__}: {exc}" if str(exc) else (
                         "worker process died unexpectedly"
                     )
-                    settle(slot, point, attempt, "pool_crash", err)
-                    for v_slot, v_point, v_attempt, _ in victims:
-                        settle(v_slot, v_point, v_attempt, "pool_crash", err)
+                    settle(slot, point, attempt, "pool_crash", err, elapsed)
+                    for v_slot, v_point, v_attempt, v_t0 in victims:
+                        settle(v_slot, v_point, v_attempt, "pool_crash", err,
+                               now - v_t0)
                 except Exception as exc:  # noqa: BLE001 - retried/reported
+                    # format_exception includes the _RemoteTraceback the
+                    # pool chains in, i.e. the worker-side stack.
                     settle(
                         slot, point, attempt, "exception",
-                        f"{type(exc).__name__}: {exc}",
+                        f"{type(exc).__name__}: {exc}", elapsed,
+                        tb="".join(_tb.format_exception(exc)),
                     )
+                else:
+                    out[slot] = value
+                    _absorb_payload(payload)
+                    reg.histogram("engine.point_wall_seconds").observe(elapsed)
 
     def _run_serial(self, points: list[GridPoint], to_value: Callable) -> list:
         """In-process reference path with the same failure contract."""
         out: list = []
         failures: list[PointFailure] = []
+        reg = get_registry()
         for p in points:
+            t0 = time.monotonic()
             try:
                 out.append(
                     to_value(_simulate_point(p, self.cache_dir, self._experiments))
                 )
+                reg.histogram("engine.point_wall_seconds").observe(
+                    time.monotonic() - t0
+                )
             except Exception as exc:  # noqa: BLE001 - uniform grid contract
+                err = f"{type(exc).__name__}: {exc}"
                 failure = PointFailure(
-                    point=p, kind="exception",
-                    error=f"{type(exc).__name__}: {exc}", attempts=1,
+                    point=p, kind="exception", error=err, attempts=1,
+                    attempt_history=(("exception", time.monotonic() - t0, err),),
+                    traceback="".join(_tb.format_exception(exc)),
                 )
                 self.quarantine[p] = failure
+                reg.counter("engine.quarantined").inc()
                 if not self.degraded:
                     raise GridExecutionError([failure]) from exc
                 _log.warning("degraded grid: %s", failure.describe())
@@ -566,9 +659,10 @@ class ExperimentEngine:
         strict mode such points raise :class:`GridExecutionError`.
         """
         points = list(points)
-        if self.jobs <= 1 or len(points) <= 1:
-            return self._run_serial(points, lambda r: r)
-        return self._map_points(_worker_result, points)
+        with _span("engine.run_grid", points=len(points), jobs=self.jobs):
+            if self.jobs <= 1 or len(points) <= 1:
+                return self._run_serial(points, lambda r: r)
+            return self._map_points(_worker_result, points)
 
     def durations(self, points: Iterable[GridPoint]) -> list[float]:
         """Simulated makespans of every grid point, in input order.
@@ -578,9 +672,10 @@ class ExperimentEngine:
         :meth:`run_grid`.
         """
         points = list(points)
-        if self.jobs <= 1 or len(points) <= 1:
-            return self._run_serial(points, lambda r: r.duration)
-        return self._map_points(_worker_duration, points)
+        with _span("engine.durations", points=len(points), jobs=self.jobs):
+            if self.jobs <= 1 or len(points) <= 1:
+                return self._run_serial(points, lambda r: r.duration)
+            return self._map_points(_worker_duration, points)
 
     # -- experiment interop -------------------------------------------------
     def experiment(self, point: GridPoint) -> AppExperiment:

@@ -18,6 +18,7 @@ from ..core.transform import OverlapConfig, overlap_transform
 from ..dimemas.machine import MachineConfig
 from ..dimemas.replay import simulate
 from ..dimemas.results import SimResult
+from ..obs import span as _span
 from ..trace.records import TraceSet
 
 __all__ = ["AppExperiment", "VARIANTS"]
@@ -81,11 +82,13 @@ class AppExperiment:
         if variant not in self._traces:
             if variant == "original":
                 def build() -> TraceSet:
-                    app = get_app(self.app_name, **self.app_params)
-                    return app.trace(
-                        nranks=self.nranks,
-                        record_streams=self.record_streams,
-                    ).trace
+                    with _span("trace.build", app=self.app_name,
+                               nranks=self.nranks):
+                        app = get_app(self.app_name, **self.app_params)
+                        return app.trace(
+                            nranks=self.nranks,
+                            record_streams=self.record_streams,
+                        ).trace
 
                 if self.cache is not None and not self.record_streams:
                     key = self.cache.key(
@@ -134,10 +137,12 @@ class AppExperiment:
         # alias to the same memoized result.
         key = (variant, cfg)
         if key not in self._sims:
-            if self.sim_cache is not None:
-                self._sims[key] = self._cached_simulate(variant, cfg)
-            else:
-                self._sims[key] = simulate(self.trace(variant), cfg)
+            with _span("experiment.simulate", app=self.app_name,
+                       variant=variant):
+                if self.sim_cache is not None:
+                    self._sims[key] = self._cached_simulate(variant, cfg)
+                else:
+                    self._sims[key] = simulate(self.trace(variant), cfg)
         return self._sims[key]
 
     def cached_result(

@@ -14,6 +14,7 @@ import math
 from pathlib import Path
 
 from ..dimemas.machine import PAPER_BUSES
+from ..obs import get_registry, span as _span
 from ..paraver.compare import compare
 from ..paraver.timeline import iteration_bounds
 from .bandwidth import equivalent_bandwidth, relaxation_bandwidth
@@ -35,6 +36,40 @@ def _fmt_bw(x: float) -> str:
 
 def _fmt_pct(x: float) -> str:
     return "  n/a " if (x != x) else f"{100 * x:6.2f}"
+
+
+#: Registry counter prefixes behind the report's cache-aggregate line.
+_CACHE_KINDS = (("trace", "cache.trace"), ("replay", "cache.replay"))
+
+
+def _cache_counts() -> dict[str, dict[str, int]]:
+    """Current cache hit/miss/rebuilt totals from the metrics registry.
+
+    Includes counts merged back from pool workers, which the in-object
+    cache attributes (``TraceCache.hits`` etc.) can never see — those
+    live and die in the worker process.
+    """
+    reg = get_registry()
+    return {
+        label: {
+            what: reg.counter(f"{prefix}.{what}").value
+            for what in ("hits", "misses", "rebuilt")
+        }
+        for label, prefix in _CACHE_KINDS
+    }
+
+
+def _cache_summary_line(before: dict[str, dict[str, int]]) -> str:
+    """One-line hit/miss/rebuilt delta since ``before`` (all processes)."""
+    after = _cache_counts()
+    parts = []
+    for label, _ in _CACHE_KINDS:
+        d = {k: after[label][k] - before[label][k] for k in after[label]}
+        parts.append(
+            f"{label} {d['hits']} hits / {d['misses']} misses"
+            f" / {d['rebuilt']} rebuilt"
+        )
+    return "cache: " + ", ".join(parts) + "   (incl. workers)"
 
 
 def full_report(
@@ -80,100 +115,114 @@ def _full_report(
     if engine.cache_dir is not None:
         trace_cache = TraceCache(Path(engine.cache_dir) / "traces")
         sim_cache = SimResultCache(Path(engine.cache_dir) / "replays")
+    cache_before = _cache_counts()
     exps = {
         a: AppExperiment(a, nranks=nranks, cache=trace_cache, sim_cache=sim_cache)
         for a in apps
     }
 
     # ---- Table I ---------------------------------------------------------- #
-    print("== Table I: Dimemas bus counts ==", file=out)
-    print(f"{'app':>10} {'paper':>6} {'saturation knee (ours)':>24}", file=out)
-    for a in apps:
-        knee = saturation_knee(exps[a], tolerance=0.02, engine=engine)
-        print(f"{a:>10} {PAPER_BUSES[a]:>6} {knee:>24}", file=out)
-    print(file=out)
+    with _span("report.table1"):
+        print("== Table I: Dimemas bus counts ==", file=out)
+        print(f"{'app':>10} {'paper':>6} {'saturation knee (ours)':>24}", file=out)
+        for a in apps:
+            knee = saturation_knee(exps[a], tolerance=0.02, engine=engine)
+            print(f"{a:>10} {PAPER_BUSES[a]:>6} {knee:>24}", file=out)
+        print(file=out)
 
     # ---- Table II ---------------------------------------------------------- #
-    print("== Table II: production/consumption patterns (percent of phase) ==", file=out)
-    print(f"{'app':>10} | {'prod 1st':>9} {'prod 1/4':>9} {'prod 1/2':>9} "
-          f"{'prod all':>9} | {'cons 0':>8} {'cons 1/4':>9} {'cons 1/2':>9}", file=out)
-    for a in apps:
-        row = pattern_row(exps[a])
-        pp, pc = PAPER_PRODUCTION[a], PAPER_CONSUMPTION[a]
-        p, c = row.production, row.consumption
-        print(f"{a:>10} | {_fmt_pct(p.first_element):>9} {_fmt_pct(p.quarter):>9} "
-              f"{_fmt_pct(p.half):>9} {_fmt_pct(p.whole):>9} | {_fmt_pct(c.nothing):>8} "
-              f"{_fmt_pct(c.quarter):>9} {_fmt_pct(c.half):>9}   (measured)", file=out)
-        print(f"{'':>10} | {_fmt_pct(pp.first_element):>9} {_fmt_pct(pp.quarter):>9} "
-              f"{_fmt_pct(pp.half):>9} {_fmt_pct(pp.whole):>9} | {_fmt_pct(pc.nothing):>8} "
-              f"{_fmt_pct(pc.quarter):>9} {_fmt_pct(pc.half):>9}   (paper)", file=out)
-    print(file=out)
+    with _span("report.table2"):
+        print("== Table II: production/consumption patterns (percent of phase) ==", file=out)
+        print(f"{'app':>10} | {'prod 1st':>9} {'prod 1/4':>9} {'prod 1/2':>9} "
+              f"{'prod all':>9} | {'cons 0':>8} {'cons 1/4':>9} {'cons 1/2':>9}", file=out)
+        for a in apps:
+            row = pattern_row(exps[a])
+            pp, pc = PAPER_PRODUCTION[a], PAPER_CONSUMPTION[a]
+            p, c = row.production, row.consumption
+            print(f"{a:>10} | {_fmt_pct(p.first_element):>9} {_fmt_pct(p.quarter):>9} "
+                  f"{_fmt_pct(p.half):>9} {_fmt_pct(p.whole):>9} | {_fmt_pct(c.nothing):>8} "
+                  f"{_fmt_pct(c.quarter):>9} {_fmt_pct(c.half):>9}   (measured)", file=out)
+            print(f"{'':>10} | {_fmt_pct(pp.first_element):>9} {_fmt_pct(pp.quarter):>9} "
+                  f"{_fmt_pct(pp.half):>9} {_fmt_pct(pp.whole):>9} | {_fmt_pct(pc.nothing):>8} "
+                  f"{_fmt_pct(pc.quarter):>9} {_fmt_pct(pc.half):>9}   (paper)", file=out)
+        print(file=out)
 
     # ---- Figure 4 ---------------------------------------------------------- #
-    print("== Figure 4: NAS-CG, 4 processes, first five iterations ==", file=out)
-    cg4 = AppExperiment("cg", nranks=4)
-    r0, r1 = cg4.simulate("original"), cg4.simulate("real")
-    cmp_ = compare(r0, r1)
-    t0, t1 = iteration_bounds(r0, 0, 5)
-    print(cmp_.report(width=88, t0=t0, t1=min(t1, max(r0.duration, r1.duration))), file=out)
-    print(f"paper: ~8% improvement; measured: {cmp_.timing.improvement_percent:.1f}%", file=out)
-    print(file=out)
+    with _span("report.figure4"):
+        print("== Figure 4: NAS-CG, 4 processes, first five iterations ==", file=out)
+        cg4 = AppExperiment("cg", nranks=4)
+        r0, r1 = cg4.simulate("original"), cg4.simulate("real")
+        cmp_ = compare(r0, r1)
+        t0, t1 = iteration_bounds(r0, 0, 5)
+        print(cmp_.report(width=88, t0=t0, t1=min(t1, max(r0.duration, r1.duration))), file=out)
+        print(f"paper: ~8% improvement; measured: {cmp_.timing.improvement_percent:.1f}%", file=out)
+        print(file=out)
 
     # ---- Figure 5 ---------------------------------------------------------- #
-    print("== Figure 5: access-pattern series (summary statistics) ==", file=out)
-    for app, kind in (("sweep3d", "production"), ("bt", "consumption"),
-                      ("pop", "consumption")):
-        x, y = figure5_series(app, kind, nranks=16)
-        if x.size:
-            print(f"{app:>10} {kind:<12} points={x.size:>7} "
-                  f"x-range=[{x.min():.3f}, {x.max():.3f}] "
-                  f"buffer-elements={int(y.max()) + 1}", file=out)
-    print(file=out)
+    with _span("report.figure5"):
+        print("== Figure 5: access-pattern series (summary statistics) ==", file=out)
+        for app, kind in (("sweep3d", "production"), ("bt", "consumption"),
+                          ("pop", "consumption")):
+            x, y = figure5_series(app, kind, nranks=16)
+            if x.size:
+                print(f"{app:>10} {kind:<12} points={x.size:>7} "
+                      f"x-range=[{x.min():.3f}, {x.max():.3f}] "
+                      f"buffer-elements={int(y.max()) + 1}", file=out)
+        print(file=out)
 
     # ---- Future work: phase-level headroom --------------------------------- #
-    from ..core.phases import phase_overlap_potential
-    print("== Phase-level overlap headroom (paper's future work) ==", file=out)
-    for a in apps:
-        channel = None if a == "alya" else 0
-        pot = phase_overlap_potential(exps[a].trace("original"), channel=channel)
-        print(f"{a:>10}: independent consumption "
-              f"{pot.independent_fraction * 100:5.1f}%  pre-production "
-              f"{pot.preproduction_fraction * 100:5.1f}%  reorderable "
-              f"{pot.reorderable_seconds * 1e3:9.3f} ms", file=out)
-    print(file=out)
+    with _span("report.headroom"):
+        from ..core.phases import phase_overlap_potential
+        print("== Phase-level overlap headroom (paper's future work) ==", file=out)
+        for a in apps:
+            channel = None if a == "alya" else 0
+            pot = phase_overlap_potential(exps[a].trace("original"), channel=channel)
+            print(f"{a:>10}: independent consumption "
+                  f"{pot.independent_fraction * 100:5.1f}%  pre-production "
+                  f"{pot.preproduction_fraction * 100:5.1f}%  reorderable "
+                  f"{pot.reorderable_seconds * 1e3:9.3f} ms", file=out)
+        print(file=out)
 
     # ---- Figure 6 ---------------------------------------------------------- #
-    print("== Figure 6: overlap benefits ==", file=out)
-    header = f"{'app':>10} {'real':>8} {'ideal':>8}"
-    if include_bandwidth:
-        header += (f" {'relaxBW(real)':>14} {'relaxBW(ideal)':>15}"
-                   f" {'equivBW(real)':>14} {'equivBW(ideal)':>15}")
-    print(header, file=out)
-    eng = engine if engine.jobs > 1 else None
-    for a in apps:
-        # One dead app must not take the rest of the table with it: its
-        # row reports the failure and the loop moves on.
-        try:
-            e = exps[a]
-            s = e.speedups()
-            line = f"{a:>10} {s['real']:8.4f} {s['ideal']:8.4f}"
-            if include_bandwidth:
-                rr = relaxation_bandwidth(e, "real", engine=eng)
-                ri = relaxation_bandwidth(e, "ideal", engine=eng)
-                er = equivalent_bandwidth(e, "real", engine=eng)
-                ei = equivalent_bandwidth(e, "ideal", engine=eng)
-                line += (f" {_fmt_bw(rr):>14} {_fmt_bw(ri):>15}"
-                         f" {_fmt_bw(er):>14} {_fmt_bw(ei):>15}")
-        except (DegradedBracketError, GridExecutionError) as exc:
-            first = exc.failures[0].describe() if exc.failures else str(exc)
-            line = f"{a:>10} {'FAILED':>8} {'FAILED':>8}  [{first}]"
-        print(line, file=out)
+    with _span("report.figure6"):
+        print("== Figure 6: overlap benefits ==", file=out)
+        header = f"{'app':>10} {'real':>8} {'ideal':>8}"
+        if include_bandwidth:
+            header += (f" {'relaxBW(real)':>14} {'relaxBW(ideal)':>15}"
+                       f" {'equivBW(real)':>14} {'equivBW(ideal)':>15}")
+        print(header, file=out)
+        eng = engine if engine.jobs > 1 else None
+        for a in apps:
+            # One dead app must not take the rest of the table with it:
+            # its row reports the failure and the loop moves on.
+            try:
+                e = exps[a]
+                s = e.speedups()
+                line = f"{a:>10} {s['real']:8.4f} {s['ideal']:8.4f}"
+                if include_bandwidth:
+                    rr = relaxation_bandwidth(e, "real", engine=eng)
+                    ri = relaxation_bandwidth(e, "ideal", engine=eng)
+                    er = equivalent_bandwidth(e, "real", engine=eng)
+                    ei = equivalent_bandwidth(e, "ideal", engine=eng)
+                    line += (f" {_fmt_bw(rr):>14} {_fmt_bw(ri):>15}"
+                             f" {_fmt_bw(er):>14} {_fmt_bw(ei):>15}")
+            except (DegradedBracketError, GridExecutionError) as exc:
+                first = exc.failures[0].describe() if exc.failures else str(exc)
+                line = f"{a:>10} {'FAILED':>8} {'FAILED':>8}  [{first}]"
+            print(line, file=out)
+
+    # A blank line terminates the Figure 6 table (consumers parse rows
+    # until the first blank line), then the cross-process cache totals.
+    if trace_cache is not None or sim_cache is not None:
+        print(file=out)
+        print(_cache_summary_line(cache_before), file=out)
     return out.getvalue()
 
 
 def main() -> None:  # pragma: no cover - exercised via CLI
     """Entry point of ``python -m repro.experiments.report``."""
     import argparse
+    import sys
 
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--nranks", type=int, default=DEFAULT_NRANKS)
@@ -187,10 +236,10 @@ def main() -> None:  # pragma: no cover - exercised via CLI
                     help="report FAILED rows instead of aborting when "
                          "replays keep failing")
     args = ap.parse_args()
-    print(full_report(nranks=args.nranks,
-                      include_bandwidth=not args.no_bandwidth,
-                      jobs=args.jobs, cache_dir=args.cache_dir,
-                      degraded=args.degraded))
+    sys.stdout.write(full_report(nranks=args.nranks,
+                                 include_bandwidth=not args.no_bandwidth,
+                                 jobs=args.jobs, cache_dir=args.cache_dir,
+                                 degraded=args.degraded) + "\n")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import span as _span
 from .pipeline import AppExperiment, VARIANTS
 
 __all__ = ["SweepResult", "ascii_series", "bandwidth_sweep", "latency_sweep"]
@@ -50,31 +51,33 @@ def _sweep(
     engine,
 ) -> SweepResult:
     """Run one (variant x value) grid, engine-fanned when available."""
-    if engine is None or (engine.jobs <= 1 and not engine.degraded):
-        durations = {
-            v: tuple(exp.duration(v, **{parameter: x}) for x in xs)
+    with _span("sweep", parameter=parameter, app=exp.app_name,
+               points=len(xs) * len(variants)):
+        if engine is None or (engine.jobs <= 1 and not engine.degraded):
+            durations = {
+                v: tuple(exp.duration(v, **{parameter: x}) for x in xs)
+                for v in variants
+            }
+            return SweepResult(parameter, xs, durations)
+        from dataclasses import replace
+
+        from .parallel import PointFailure
+        points = [
+            replace(engine.point_for(exp, v), **{parameter: x})
             for v in variants
+            for x in xs
+        ]
+        # A degraded engine hands back PointFailure sentinels for points
+        # it had to quarantine; the sweep keeps its shape with NaN holes.
+        flat = [
+            math.nan if isinstance(d, PointFailure) else d
+            for d in engine.durations(points)
+        ]
+        durations = {
+            v: tuple(flat[i * len(xs):(i + 1) * len(xs)])
+            for i, v in enumerate(variants)
         }
         return SweepResult(parameter, xs, durations)
-    from dataclasses import replace
-
-    from .parallel import PointFailure
-    points = [
-        replace(engine.point_for(exp, v), **{parameter: x})
-        for v in variants
-        for x in xs
-    ]
-    # A degraded engine hands back PointFailure sentinels for points it
-    # had to quarantine; the sweep keeps its shape with NaN holes.
-    flat = [
-        math.nan if isinstance(d, PointFailure) else d
-        for d in engine.durations(points)
-    ]
-    durations = {
-        v: tuple(flat[i * len(xs):(i + 1) * len(xs)])
-        for i, v in enumerate(variants)
-    }
-    return SweepResult(parameter, xs, durations)
 
 
 def bandwidth_sweep(

@@ -227,6 +227,18 @@ class Runtime:
         Raises :class:`DeadlockError` if no progress is possible and
         :class:`RankFailedError` if any rank raised.
         """
+        from ..obs import get_registry, span
+        from .api import Comm
+
+        with span("smpi.run", nranks=self.nranks):
+            out = self._run_scheduled()
+        reg = get_registry()
+        reg.counter("smpi.runs").inc()
+        reg.counter("smpi.ranks_run").inc(self.nranks)
+        return out
+
+    def _run_scheduled(self) -> list[Any]:
+        """The baton-passing scheduler loop behind :meth:`run`."""
         from .api import Comm
 
         for st in self._ranks:

@@ -38,6 +38,7 @@ from typing import TextIO
 
 import numpy as np
 
+from ..obs import span as _span
 from .records import (
     AccessProfile,
     CollOp,
@@ -123,8 +124,9 @@ def _record_lines(rec: Record) -> list[str]:
 def dump(trace: TraceSet, fp: TextIO | str | Path) -> None:
     """Serialize ``trace`` to a file path or text stream."""
     if isinstance(fp, (str, Path)):
-        with open(fp, "w", encoding="ascii") as f:
-            dump(trace, f)
+        with _span("trace.dim.dump", nranks=trace.nranks):
+            with open(fp, "w", encoding="ascii") as f:
+                dump(trace, f)
         return
     fp.write(_MAGIC + "\n")
     if trace.meta:
@@ -163,8 +165,9 @@ def _parse_profile(parts: list[str]) -> AccessProfile:
 def load(fp: TextIO | str | Path) -> TraceSet:
     """Parse a trace from a file path or text stream."""
     if isinstance(fp, (str, Path)):
-        with open(fp, "r", encoding="ascii") as f:
-            return load(f)
+        with _span("trace.dim.load"):
+            with open(fp, "r", encoding="ascii") as f:
+                return load(f)
     return loads(fp.read())
 
 

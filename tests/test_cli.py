@@ -65,7 +65,7 @@ class TestSimulateCommand:
         assert "makespan" in out and "parallel efficiency" in out
 
     def test_gantt_and_profile(self, traced_file, capsys):
-        main_simulate([str(traced_file), "--gantt", "--profile",
+        main_simulate([str(traced_file), "--gantt", "--state-profile",
                        "--width", "40"])
         out = capsys.readouterr().out
         assert "rank   0 |" in out and "Running" in out

@@ -139,6 +139,30 @@ class TestQuarantine:
             with pytest.raises(GridExecutionError):
                 eng.durations([POISON])
 
+    def test_failure_carries_attempt_history_and_traceback(self):
+        """Post-mortem satellite: every attempt's (kind, wall, error)
+        triple plus the worker traceback survive into the sentinel."""
+        with ExperimentEngine(jobs=2, retry=self.RETRY, degraded=True) as eng:
+            got = eng.durations(tiny_points()[:1] + [POISON])
+        failure = got[1]
+        assert isinstance(failure, PointFailure)
+        assert len(failure.attempt_history) == 2
+        for kind, seconds, error in failure.attempt_history:
+            assert kind == "exception"
+            assert seconds >= 0.0
+            assert "no_such_app" in error
+        assert "no_such_app" in failure.traceback
+        assert "Traceback" in failure.traceback
+        detail = failure.detail()
+        assert "attempt 1:" in detail and "attempt 2:" in detail
+        assert "worker traceback" in detail
+
+    def test_serial_failure_carries_traceback(self):
+        with ExperimentEngine(jobs=1, degraded=True) as eng:
+            (failure,) = eng.durations([POISON])
+        assert failure.attempt_history and failure.traceback
+        assert "no_such_app" in failure.detail()
+
 
 class TestDegradedConsumers:
     def test_bisection_refuses_degraded_bracket(self, monkeypatch):

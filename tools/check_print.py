@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Lint: no bare ``print()`` in library code.
+
+Library modules must report through ``repro.obs`` loggers or write to
+an explicit stream; stray ``print()`` calls corrupt machine-readable
+stdout (trace dumps, report text consumed by tests) and bypass the
+``--quiet``/``-v`` contract.  A print call is *bare* when it has no
+``file=`` keyword — ``print(..., file=out)`` report builders and
+``print(..., file=sys.stderr)`` diagnostics are fine.
+
+Exempt by design: ``cli.py`` (its stdout IS the user interface) and
+``paraver/`` (renderers whose callers capture stdout deliberately).
+
+Usage: ``python tools/check_print.py [root ...]`` (default:
+``src/repro``).  Exits 1 with one ``path:line`` diagnostic per offense.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Paths (relative to the scanned root) that may print to stdout.
+EXEMPT_PARTS = ("paraver",)
+EXEMPT_FILES = ("cli.py",)
+
+
+def bare_prints(path: Path) -> list[tuple[int, str]]:
+    """(line, source) of every print() call without a file= keyword."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    hits = []
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"):
+            continue
+        if any(kw.arg == "file" for kw in node.keywords):
+            continue
+        hits.append((node.lineno, ast.unparse(node)[:80]))
+    return hits
+
+
+def check_tree(root: Path) -> list[str]:
+    problems = []
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root)
+        if rel.name in EXEMPT_FILES or any(
+            part in EXEMPT_PARTS for part in rel.parts[:-1]
+        ):
+            continue
+        for line, src in bare_prints(path):
+            problems.append(f"{path}:{line}: bare print(): {src}")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    roots = [Path(a) for a in argv] or [Path("src/repro")]
+    problems = []
+    for root in roots:
+        if not root.is_dir():
+            print(f"check_print: no such directory: {root}", file=sys.stderr)
+            return 2
+        problems += check_tree(root)
+    for p in problems:
+        print(p, file=sys.stderr)
+    if problems:
+        print(f"check_print: {len(problems)} bare print() call(s); "
+              f"use repro.obs.get_logger() or pass file=", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
