@@ -24,6 +24,7 @@ from .core.ideal import ideal_transform
 from .core.transform import OverlapConfig, overlap_transform
 from .dimemas.machine import MachineConfig
 from .dimemas.replay import DeadlockError, SimulationTimeout, simulate
+from .experiments.checkpoint import CampaignInterrupted
 from .paraver.gantt import render_gantt
 from .paraver.stats import comm_stats, profile_table
 from .trace import dim, prv
@@ -34,22 +35,34 @@ __all__ = ["main_analyze", "main_overlap", "main_report", "main_simulate",
 #: CLI exit codes for diagnosed replay failures (0 ok, 2 argparse).
 EXIT_DEADLOCK = 3
 EXIT_TIMEOUT = 4
+#: The campaign drained gracefully after SIGTERM/SIGINT and left a
+#: journal behind: re-run with ``--resume <run-id>`` to continue.
+EXIT_RESUMABLE = 5
 EXIT_INTERRUPTED = 130
 
 
 def _interruptible(fn):
-    """Turn Ctrl-C into a clean exit instead of a stack trace.
+    """Turn interrupts into clean exits instead of stack traces.
 
     Cleanup of pools and staging temp files happens where the resources
     live (``full_report`` tears its engine down on the way out); this
-    wrapper only standardizes the user-visible behavior: a one-line
-    notice on stderr and the conventional 128+SIGINT exit status.
+    wrapper only standardizes the user-visible behavior: a gracefully
+    drained campaign prints its resume hint and exits with
+    :data:`EXIT_RESUMABLE`; a hard Ctrl-C keeps the conventional
+    128+SIGINT exit status.
     """
 
     @functools.wraps(fn)
     def wrapper(argv: list[str] | None = None) -> int:
         try:
             return fn(argv)
+        except CampaignInterrupted as exc:
+            print(str(exc), file=sys.stderr)
+            if exc.resumable:
+                print(f"resume with: repro-report --resume {exc.run_id}",
+                      file=sys.stderr)
+                return EXIT_RESUMABLE
+            return EXIT_INTERRUPTED
         except KeyboardInterrupt:
             print("interrupted", file=sys.stderr)
             return EXIT_INTERRUPTED
@@ -77,8 +90,13 @@ def _obs_args(ap: argparse.ArgumentParser) -> None:
                    help="errors only; also suppresses the span summary")
 
 
+def _default_obs_dir(args: argparse.Namespace) -> str:
+    return args.obs_dir or os.environ.get("REPRO_OBS_DIR") or ".repro-obs"
+
+
 @contextlib.contextmanager
-def _observed(args: argparse.Namespace, command: str):
+def _observed(args: argparse.Namespace, command: str,
+              run_id: str | None = None, resume: bool = False):
     """Run-manifest + profiling lifecycle around one CLI invocation.
 
     Spans are enabled for ``--profile``; a run directory (manifest +
@@ -87,21 +105,31 @@ def _observed(args: argparse.Namespace, command: str):
     ``$REPRO_OBS_DIR`` asks for observability.  Without those flags
     this is a no-op apart from logger configuration, so existing
     workflows see no new files.
+
+    ``resume`` re-opens an existing run (``run_id`` required): events
+    append to the same log, the run-sequence number increments, and
+    the finalized manifest carries counter totals merged across every
+    sequence.  A drained campaign finalizes with status
+    ``interrupted`` rather than ``error``, marking it resumable.
     """
     from . import obs
 
     obs.configure_logging(verbosity=args.verbose, quiet=args.quiet)
     obs_dir = args.obs_dir or os.environ.get("REPRO_OBS_DIR")
-    observed = bool(args.profile or args.metrics_out or obs_dir)
+    observed = bool(args.profile or args.metrics_out or obs_dir or resume)
     if not observed:
         yield None
         return
     if args.profile:
         obs.enable()
-    run = obs.RunContext(obs_dir or ".repro-obs", command=command)
+    run = obs.RunContext(obs_dir or ".repro-obs", command=command,
+                         run_id=run_id, resume=resume)
     status = "ok"
     try:
         yield run
+    except CampaignInterrupted:
+        status = "interrupted"
+        raise
     except BaseException:
         status = "error"
         raise
@@ -360,9 +388,29 @@ def main_report(argv: list[str] | None = None) -> int:
     ap.add_argument("--degraded", action="store_true",
                     help="report FAILED rows instead of aborting when "
                          "replays keep failing")
+    g = ap.add_argument_group("checkpoint/resume")
+    g.add_argument("--resume", default=None, metavar="RUN_ID",
+                   help="resume an interrupted campaign: replay its "
+                        "journal, re-run only the missing points, and "
+                        "continue under the same run manifest")
+    g.add_argument("--list-runs", action="store_true",
+                   help="list resumable runs under the obs dir (with "
+                        "point-completion progress) and exit")
     _obs_args(ap)
     args = ap.parse_args(argv)
+    from .experiments.checkpoint import (
+        CheckpointJournal, list_runs, render_runs_table,
+    )
     from .experiments.report import full_report
+
+    if args.list_runs:
+        print(render_runs_table(list_runs(_default_obs_dir(args))))
+        return 0
+    if args.resume:
+        from pathlib import Path
+        if not (Path(_default_obs_dir(args)) / args.resume).is_dir():
+            ap.error(f"no run {args.resume!r} under "
+                     f"{_default_obs_dir(args)} (try --list-runs)")
     kwargs = {}
     if args.apps:
         apps = tuple(a.strip() for a in args.apps.split(",") if a.strip())
@@ -371,11 +419,21 @@ def main_report(argv: list[str] | None = None) -> int:
             ap.error(f"unknown apps: {', '.join(unknown)} "
                      f"(choose from {', '.join(sorted(APPS))})")
         kwargs["apps"] = apps
-    with _observed(args, "repro-report"):
-        print(full_report(nranks=args.nranks,
-                          include_bandwidth=not args.no_bandwidth,
-                          jobs=args.jobs, cache_dir=args.cache_dir,
-                          degraded=args.degraded, **kwargs))
+    with _observed(args, "repro-report", run_id=args.resume,
+                   resume=bool(args.resume)) as run:
+        journal = None
+        if run is not None:
+            journal = CheckpointJournal(run.dir / "journal.jsonl",
+                                        run_id=run.run_id)
+        try:
+            print(full_report(nranks=args.nranks,
+                              include_bandwidth=not args.no_bandwidth,
+                              jobs=args.jobs, cache_dir=args.cache_dir,
+                              degraded=args.degraded, checkpoint=journal,
+                              **kwargs))
+        finally:
+            if journal is not None:
+                journal.close()
     return 0
 
 

@@ -5,6 +5,8 @@
 * :mod:`repro.experiments.bandwidth` — Figure 6(b)/(c) searches;
 * :mod:`repro.experiments.calibration` — Table I bus calibration;
 * :mod:`repro.experiments.cache` — persistent trace/result caches;
+* :mod:`repro.experiments.checkpoint` — crash-safe campaign journal,
+  graceful drain, and resume;
 * :mod:`repro.experiments.tables` — Table II / Figure 5 data;
 * :mod:`repro.experiments.report` — the full paper-vs-measured report.
 """
@@ -16,8 +18,17 @@ from .bandwidth import (
     equivalent_bandwidth,
     relaxation_bandwidth,
 )
-from .cache import SimResultCache, TraceCache, trace_digest
+from .cache import SimResultCache, TraceCache, disk_low, trace_digest
 from .calibration import bus_sensitivity, calibrate_buses, saturation_knee
+from .checkpoint import (
+    CampaignInterrupted,
+    CheckpointJournal,
+    JournalEntry,
+    graceful_drain,
+    list_runs,
+    point_key,
+    replay_journal,
+)
 from .parallel import (
     DegradedBracketError,
     ExperimentEngine,
@@ -25,6 +36,7 @@ from .parallel import (
     GridPoint,
     PointFailure,
     RetryPolicy,
+    WorkerMemoryError,
     expand_grid,
     speedup_grid,
 )
@@ -41,14 +53,17 @@ from .scaling import ScalePoint, ScalingStudy, scaling_study
 from .sweeps import SweepResult, ascii_series, bandwidth_sweep, latency_sweep
 
 __all__ = [
-    "AppExperiment", "DegradedBracketError", "ExperimentEngine",
-    "GridExecutionError", "GridPoint",
+    "AppExperiment", "CampaignInterrupted", "CheckpointJournal",
+    "DegradedBracketError", "ExperimentEngine",
+    "GridExecutionError", "GridPoint", "JournalEntry",
     "NonMonotonePredicateError", "PointFailure", "RetryPolicy",
+    "WorkerMemoryError",
     "PAPER_CONSUMPTION", "PAPER_PRODUCTION", "PatternRow",
     "VARIANTS", "bisect_bandwidth", "bisect_bandwidth_batched",
-    "bus_sensitivity", "calibrate_buses",
+    "bus_sensitivity", "calibrate_buses", "disk_low",
     "equivalent_bandwidth", "expand_grid", "figure5_series", "full_report",
-    "pattern_row", "relaxation_bandwidth", "saturation_knee",
+    "graceful_drain", "list_runs", "pattern_row", "point_key",
+    "relaxation_bandwidth", "replay_journal", "saturation_knee",
     "ScalePoint", "ScalingStudy", "SimResultCache", "TraceCache",
     "scaling_study", "speedup_grid", "trace_digest",
     "SweepResult", "ascii_series", "bandwidth_sweep", "latency_sweep",

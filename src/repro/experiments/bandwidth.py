@@ -44,6 +44,32 @@ BW_MIN = 0.25
 BW_MAX = 128_000.0
 
 
+def _anchor_duration(
+    exp: AppExperiment, variant: str, bandwidth: float, engine,
+) -> float:
+    """The search's anchor duration, engine-mediated when possible.
+
+    Routing the anchor replay through the engine journals it alongside
+    the probe points, so a resumed search re-derives the identical
+    threshold without re-execution.  A quarantined anchor cannot anchor
+    anything: raise :class:`~repro.experiments.parallel.DegradedBracketError`
+    rather than bisect against a missing number.
+    """
+    if engine is None or not engine.mediated:
+        return exp.duration(variant, bandwidth_mbps=bandwidth)
+    from dataclasses import replace
+
+    from .parallel import DegradedBracketError, PointFailure
+    base = engine.point_for(exp, variant)
+    # Reuse the caller's already-traced experiment for warm/serial paths.
+    engine._experiments.setdefault(base.experiment_key(), exp)
+    point = replace(base, bandwidth_mbps=float(bandwidth))
+    dur = engine.durations([point])[0]
+    if isinstance(dur, PointFailure):
+        raise DegradedBracketError([dur])
+    return dur
+
+
 class NonMonotonePredicateError(ValueError):
     """The bisection predicate changed truth value more than once.
 
@@ -245,7 +271,7 @@ def relaxation_bandwidth(
     base_bw = baseline_bw if baseline_bw is not None else exp.machine.bandwidth_mbps
     with _span("bisect.relaxation", app=exp.app_name, variant=variant):
         get_registry().counter("bisect.searches").inc()
-        target = exp.duration("original", bandwidth_mbps=base_bw)
+        target = _anchor_duration(exp, "original", base_bw, engine)
         threshold = target * (1 + slack)
 
         if engine is not None:
@@ -280,7 +306,7 @@ def equivalent_bandwidth(
     base_bw = baseline_bw if baseline_bw is not None else exp.machine.bandwidth_mbps
     with _span("bisect.equivalent", app=exp.app_name, variant=variant):
         get_registry().counter("bisect.searches").inc()
-        target = exp.duration(variant, bandwidth_mbps=base_bw)
+        target = _anchor_duration(exp, variant, base_bw, engine)
         threshold = target * (1 + slack)
 
         if engine is not None:

@@ -25,8 +25,16 @@ schema version and a content checksum, and anything that fails to load
 older schema — is *quarantined* (moved into a ``quarantine/``
 subdirectory for inspection, with a logged reason) and transparently
 rebuilt.  Orphaned ``*.tmp`` staging files left behind by dead writers
-are swept when a cache directory is opened.  A corrupted cache can
-therefore slow a warm run down, but never crash it or poison results.
+are swept when a cache directory is opened (writer identity is PID
+*plus* process start time, so a recycled PID cannot protect another
+writer's garbage).  A corrupted cache can therefore slow a warm run
+down, but never crash it or poison results.
+
+Both caches **degrade instead of dying**: a read-only cache directory,
+a full disk (ENOSPC), or any other persistent I/O failure switches the
+cache to in-memory operation for the rest of the process — one
+structured warning, a ``cache.degraded`` metric, and the campaign
+continues without persistence rather than crashing mid-grid.
 
 Traces recorded with ``record_streams=True`` are *not* cacheable (raw
 access streams are not serialized) and bypass the trace cache.
@@ -39,6 +47,7 @@ import itertools
 import json
 import logging
 import os
+import shutil
 import weakref
 from dataclasses import asdict
 from pathlib import Path
@@ -52,11 +61,49 @@ from ..trace import dim
 from ..trace.records import TraceSet
 
 __all__ = [
-    "SimResultCache", "TraceCache", "content_key", "sweep_cache_dir",
+    "SimResultCache", "TraceCache", "content_key", "disk_low",
+    "free_disk_bytes", "min_free_bytes", "sweep_cache_dir",
     "trace_digest",
 ]
 
 _log = logging.getLogger("repro.experiments.cache")
+
+#: Default disk low-water mark (bytes): below this much free space,
+#: cache and journal writers degrade instead of running the disk to
+#: zero and dying on ENOSPC mid-write.
+DEFAULT_MIN_FREE_BYTES = 16 * 1024 * 1024
+
+
+def free_disk_bytes(path: str | Path) -> int | None:
+    """Free bytes on the filesystem holding ``path`` (None: unknowable)."""
+    p = Path(path)
+    for candidate in (p, *p.parents):
+        try:
+            return shutil.disk_usage(candidate).free
+        except OSError:
+            continue
+    return None
+
+
+def min_free_bytes() -> int:
+    """The configured low-water mark (``$REPRO_MIN_FREE_MB`` override)."""
+    raw = os.environ.get("REPRO_MIN_FREE_MB")
+    if raw:
+        try:
+            return max(0, int(float(raw) * 1024 * 1024))
+        except ValueError:
+            pass
+    return DEFAULT_MIN_FREE_BYTES
+
+
+def disk_low(path: str | Path, floor: int | None = None) -> bool:
+    """True when the filesystem under ``path`` is below the low-water
+    mark — the signal for cache/journal writers to degrade gracefully
+    rather than die on ENOSPC mid-write."""
+    free = free_disk_bytes(path)
+    if free is None:
+        return False
+    return free < (floor if floor is not None else min_free_bytes())
 
 #: On-disk entry schema.  Bumping it quarantines (and rebuilds) every
 #: entry written by earlier code instead of misreading it.
@@ -76,14 +123,40 @@ def content_key(**fields) -> str:
     return hashlib.sha256(blob).hexdigest()[:24]
 
 
+def _proc_start_ticks(pid: int) -> int | None:
+    """The process's start time in clock ticks since boot, or None.
+
+    Field 22 of ``/proc/<pid>/stat`` — the one writer-identity datum
+    the kernel guarantees distinct across PID reuse.  ``comm`` may
+    contain spaces and parens, so split after the *last* ``)``.
+    """
+    try:
+        content = Path(f"/proc/{pid}/stat").read_text()
+        return int(content.rpartition(")")[2].split()[19])
+    except (OSError, ValueError, IndexError):
+        return None
+
+
+def _writer_token() -> str:
+    """Staging-file writer identity: ``<pid>-<start-ticks>``.
+
+    PID alone is recyclable — a new process can inherit a dead writer's
+    PID and make its garbage look alive forever.  Start ticks break the
+    tie.  Falls back to ``<pid>-0`` where /proc is unavailable.
+    """
+    pid = os.getpid()
+    return f"{pid}-{_proc_start_ticks(pid) or 0}"
+
+
 def _stage_and_publish(path: Path, text: str) -> None:
     """Atomically publish ``text`` at ``path``.
 
-    The staging name embeds the PID so concurrent writers in different
-    processes never clobber each other's half-written file; the final
-    rename is atomic within a filesystem.
+    The staging name embeds the writer identity (PID + process start
+    time) so concurrent writers in different processes never clobber
+    each other's half-written file; the final rename is atomic within a
+    filesystem.
     """
-    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    tmp = path.with_name(f"{path.name}.{_writer_token()}.tmp")
     tmp.write_text(text)
     tmp.replace(path)
 
@@ -98,20 +171,40 @@ def _pid_alive(pid: int) -> bool:
     return True
 
 
+def _writer_alive(token: str) -> bool:
+    """Whether the writer that owns a staging token is still running.
+
+    Tokens are ``<pid>`` (legacy, liveness check only) or
+    ``<pid>-<start-ticks>`` — for the latter, a live process that does
+    not match the recorded start time is a PID recycle, and the token's
+    file is an orphan despite the "alive" PID.
+    """
+    pid_part, sep, ticks_part = token.partition("-")
+    if not pid_part.isdigit():
+        return False
+    pid = int(pid_part)
+    if not _pid_alive(pid):
+        return False
+    if sep and ticks_part.isdigit() and int(ticks_part):
+        now = _proc_start_ticks(pid)
+        if now is not None and now != int(ticks_part):
+            return False  # PID recycled since the writer died
+    return True
+
+
 def _sweep_orphan_tmps(directory: Path) -> int:
     """Remove ``*.tmp`` staging files whose writer process is gone.
 
-    A worker killed mid-write leaves its PID-suffixed staging file
-    behind forever (the atomic rename never ran).  Files belonging to
-    still-running PIDs are left alone — they may be mid-publish right
-    now.  Returns how many orphans were removed.
+    A worker killed mid-write leaves its staging file behind forever
+    (the atomic rename never ran).  Files belonging to still-running
+    writers — same PID *and* same process start time — are left alone;
+    they may be mid-publish right now.  Returns how many orphans were
+    removed.
     """
     swept = 0
     for tmp in directory.glob("*.tmp"):
-        parts = tmp.name.rsplit(".", 2)  # <entry-name>.<pid>.tmp
-        alive = False
-        if len(parts) == 3 and parts[1].isdigit():
-            alive = _pid_alive(int(parts[1]))
+        parts = tmp.name.rsplit(".", 2)  # <entry-name>.<token>.tmp
+        alive = len(parts) == 3 and _writer_alive(parts[1])
         if not alive:
             try:
                 tmp.unlink()
@@ -128,20 +221,23 @@ def sweep_cache_dir(cache_dir: str | Path) -> int:
 
     Sweeps the ``traces`` and ``replays`` subdirectories for staging
     files of dead writers *and* of the calling process itself — after a
-    Ctrl-C the caller's own half-written staging file is garbage too.
-    Returns how many files were removed.
+    Ctrl-C or SIGTERM the caller's own half-written staging file is
+    garbage too.  Returns how many files were removed.
     """
     root = Path(cache_dir)
     removed = 0
+    own = {str(os.getpid()), _writer_token()}
     for sub in (root / "traces", root / "replays"):
         if not sub.is_dir():
             continue
-        for tmp in sub.glob(f"*.{os.getpid()}.tmp"):
-            try:
-                tmp.unlink()
-                removed += 1
-            except OSError:
-                pass
+        for tmp in sub.glob("*.tmp"):
+            parts = tmp.name.rsplit(".", 2)  # <entry-name>.<token>.tmp
+            if len(parts) == 3 and parts[1] in own:
+                try:
+                    tmp.unlink()
+                    removed += 1
+                except OSError:
+                    pass
         removed += _sweep_orphan_tmps(sub)
     return removed
 
@@ -174,6 +270,57 @@ def _quarantine(path: Path, reason: str) -> None:
     get_registry().counter("cache.quarantined").inc()
 
 
+class _DegradableCache:
+    """Mixin: degrade to in-memory operation on persistent I/O failure.
+
+    A read-only cache directory, ENOSPC, or free space under the
+    low-water mark switches the cache to a process-local dict for the
+    rest of the run: one structured warning, a ``cache.degraded``
+    metric, and the campaign keeps going without persistence instead of
+    crashing mid-grid.  Reads still try the directory (a read-only dir
+    serves hits fine); only the write path goes memory-only.
+    """
+
+    METRIC_PREFIX = "cache"
+
+    def _init_store(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        #: True once this cache stopped persisting (I/O failure / disk
+        #: low); entries built afterwards live in ``_mem`` only.
+        self.degraded = False
+        self._mem: dict[str, object] = {}
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            _sweep_orphan_tmps(self.directory)
+        except OSError as exc:
+            self._degrade(f"cache dir unusable: {exc}")
+
+    def _degrade(self, reason: str) -> None:
+        if self.degraded:
+            return
+        self.degraded = True
+        _log.warning(
+            "%s cache degraded to in-memory operation (%s); entries built "
+            "by this process will not be persisted",
+            self.METRIC_PREFIX, reason,
+        )
+        get_registry().counter("cache.degraded").inc()
+
+    def _publish(self, path: Path, text: str) -> bool:
+        """Best-effort atomic publish; False when running in-memory."""
+        if self.degraded:
+            return False
+        if disk_low(self.directory):
+            self._degrade("free disk space below low-water mark")
+            return False
+        try:
+            _stage_and_publish(path, text)
+        except OSError as exc:
+            self._degrade(f"write failed: {exc}")
+            return False
+        return True
+
+
 #: Per-TraceSet memo of content digests (guarded by record counts, like
 #: the matching memo — appends invalidate, in-place edits do not).
 _digest_cache: "weakref.WeakKeyDictionary[TraceSet, tuple[tuple[int, ...], str]]" = (
@@ -196,7 +343,7 @@ def trace_digest(trace: TraceSet) -> str:
     return digest
 
 
-class TraceCache:
+class TraceCache(_DegradableCache):
     """A directory of content-addressed ``.dim`` trace files.
 
     Entries carry a ``#CACHE:v=...;sha256=...`` trailer line (invisible
@@ -209,9 +356,7 @@ class TraceCache:
     METRIC_PREFIX = "cache.trace"
 
     def __init__(self, directory: str | Path):
-        self.directory = Path(directory)
-        self.directory.mkdir(parents=True, exist_ok=True)
-        _sweep_orphan_tmps(self.directory)
+        self._init_store(directory)
         #: Diagnostics: how often the cache answered / had to build,
         #: and how many entries had to be quarantined and rebuilt.
         #: Mirrored into the process metrics registry (and funneled to
@@ -270,6 +415,10 @@ class TraceCache:
         A bad entry — parse error, checksum mismatch, stale schema — is
         quarantined and rebuilt; it never propagates to the caller.
         """
+        hit = self._mem.get(key)
+        if hit is not None:
+            self._count("hits")
+            return hit
         path = self.path_for(key)
         if path.exists():
             trace = self._verified_load(path)
@@ -280,22 +429,29 @@ class TraceCache:
         self._count("misses")
         with _span("cache.trace.build", key=key):
             trace = builder()
-        _stage_and_publish(path, self._seal(dim.dumps(trace)))
+        if not self._publish(path, self._seal(dim.dumps(trace))):
+            self._mem[key] = trace
         return trace
 
     def clear(self) -> int:
         """Delete all cached traces; returns how many were removed."""
-        n = 0
-        for p in self.directory.glob("*.dim"):
-            p.unlink()
-            n += 1
+        n = len(self._mem)
+        self._mem.clear()
+        if self.directory.is_dir():
+            for p in self.directory.glob("*.dim"):
+                p.unlink()
+                n += 1
         return n
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.directory.glob("*.dim"))
+        on_disk = (
+            sum(1 for _ in self.directory.glob("*.dim"))
+            if self.directory.is_dir() else 0
+        )
+        return on_disk + len(self._mem)
 
 
-class SimResultCache:
+class SimResultCache(_DegradableCache):
     """A directory of content-addressed replay results (``.json``).
 
     The key covers the trace *content* and every field of the platform
@@ -316,9 +472,8 @@ class SimResultCache:
     METRIC_PREFIX = "cache.replay"
 
     def __init__(self, directory: str | Path):
-        self.directory = Path(directory)
-        self.directory.mkdir(parents=True, exist_ok=True)
-        _sweep_orphan_tmps(self.directory)
+        self._init_store(directory)
+        self._mem_digests: dict[str, str] = {}
         #: Mirrored into the metrics registry under ``cache.replay.*``.
         self.hits = 0
         self.misses = 0
@@ -360,6 +515,10 @@ class SimResultCache:
         mismatch — is quarantined and reported as a miss, so the caller
         re-simulates and the rebuilt entry replaces it.
         """
+        held = self._mem.get(key)
+        if held is not None:
+            self._count("hits")
+            return SimResult.from_dict(held)
         path = self.path_for(key)
         if path.exists():
             try:
@@ -384,17 +543,23 @@ class SimResultCache:
         return None
 
     def store(self, key: str, result: SimResult) -> None:
-        """Publish a result under ``key`` (atomic, concurrency-safe)."""
+        """Publish a result under ``key`` (atomic, concurrency-safe).
+
+        When the cache is degraded the payload dict is held in memory
+        instead — restored results stay bit-identical either way, since
+        both paths round-trip through the same ``to_dict`` encoding.
+        """
         payload = result.to_dict()
         envelope = {
             "schema": SCHEMA_VERSION,
             "sha256": hashlib.sha256(self._canonical(payload).encode()).hexdigest(),
             "result": payload,
         }
-        _stage_and_publish(
+        if not self._publish(
             self.path_for(key),
             json.dumps(envelope, separators=(",", ":")),
-        )
+        ):
+            self._mem[key] = payload
 
     def load_or_simulate(
         self,
@@ -434,6 +599,9 @@ class SimResultCache:
         A digest file that does not hold one well-formed hex digest
         (torn write, corruption) is quarantined and treated as absent.
         """
+        held = self._mem_digests.get(spec_key)
+        if held is not None:
+            return held
         path = self.directory / f"{spec_key}.digest"
         try:
             digest = path.read_text().strip()
@@ -451,18 +619,26 @@ class SimResultCache:
 
     def put_digest(self, spec_key: str, digest: str) -> None:
         """Record the trace digest of an experiment spec (atomic)."""
-        _stage_and_publish(self.directory / f"{spec_key}.digest", digest)
+        if not self._publish(self.directory / f"{spec_key}.digest", digest):
+            self._mem_digests[spec_key] = digest
 
     def clear(self) -> int:
         """Delete all cached results (and the spec->digest index);
         returns how many results were removed."""
-        n = 0
-        for p in self.directory.glob("*.json"):
-            p.unlink()
-            n += 1
-        for p in self.directory.glob("*.digest"):
-            p.unlink()
+        n = len(self._mem)
+        self._mem.clear()
+        self._mem_digests.clear()
+        if self.directory.is_dir():
+            for p in self.directory.glob("*.json"):
+                p.unlink()
+                n += 1
+            for p in self.directory.glob("*.digest"):
+                p.unlink()
         return n
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.directory.glob("*.json"))
+        on_disk = (
+            sum(1 for _ in self.directory.glob("*.json"))
+            if self.directory.is_dir() else 0
+        )
+        return on_disk + len(self._mem)

@@ -28,7 +28,7 @@ def _bus_durations(
     engine,
 ) -> list[float]:
     """Durations for several bus counts, engine-fanned when available."""
-    if engine is None or engine.jobs <= 1:
+    if engine is None or not engine.mediated:
         return [exp.duration(variant, buses=b) for b in buses_list]
     base = engine.point_for(exp, variant)
     return engine.durations([replace(base, buses=b) for b in buses_list])

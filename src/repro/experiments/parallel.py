@@ -29,6 +29,8 @@ from __future__ import annotations
 import itertools
 import logging
 import os
+import signal
+import threading
 import time
 import traceback as _tb
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
@@ -48,6 +50,7 @@ from ..obs import (
     worker_config,
 )
 from .cache import SimResultCache, TraceCache
+from .checkpoint import CampaignInterrupted, CheckpointJournal, point_key
 from .pipeline import AppExperiment
 
 __all__ = [
@@ -57,6 +60,7 @@ __all__ = [
     "GridPoint",
     "PointFailure",
     "RetryPolicy",
+    "WorkerMemoryError",
     "expand_grid",
     "speedup_grid",
 ]
@@ -285,13 +289,94 @@ def _simulate_point(point: GridPoint, cache_dir: str | None, store: dict) -> Sim
     )
 
 
+class WorkerMemoryError(MemoryError):
+    """The per-worker RSS watchdog tripped before the OOM killer could.
+
+    Raised *inside* a worker (or the serial path) when its resident set
+    exceeds the engine's ``rss_limit_mb`` budget — converting an
+    impending out-of-memory kill (which would break the whole pool)
+    into an ordinary, retryable, journaled point failure.
+    """
+
+
+def _rss_mb() -> float | None:
+    """This process's resident set size in MiB (None when unknowable).
+
+    ``$REPRO_TEST_FAKE_RSS_MB`` overrides the reading for deterministic
+    watchdog tests.
+    """
+    fake = os.environ.get("REPRO_TEST_FAKE_RSS_MB")
+    if fake:
+        try:
+            return float(fake)
+        except ValueError:
+            pass
+    try:
+        with open("/proc/self/statm") as fh:
+            pages = int(fh.read().split()[1])
+        return pages * os.sysconf("SC_PAGESIZE") / (1024.0 * 1024.0)
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    except (ImportError, OSError, ValueError):
+        return None
+
+
+def _check_rss_budget(limit_mb: float | None) -> None:
+    """Fail the current point when this process is about to OOM."""
+    if not limit_mb:
+        return
+    rss = _rss_mb()
+    if rss is not None and rss > limit_mb:
+        get_registry().counter("engine.rss_guard_trips").inc()
+        raise WorkerMemoryError(
+            f"process RSS {rss:.0f} MiB exceeds the {limit_mb:.0f} MiB "
+            f"budget; failing this point before the OOM killer fires"
+        )
+
+
+def _maybe_selfkill(env_var: str) -> None:
+    """Chaos-test hook: SIGKILL this process when ``env_var`` is set."""
+    if os.environ.get(env_var):
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _failure_payload(failure: PointFailure) -> dict:
+    """JSON-ready journal payload of a quarantine decision."""
+    return {
+        "kind": failure.kind,
+        "error": failure.error,
+        "attempts": failure.attempts,
+        "attempt_history": [list(t) for t in failure.attempt_history],
+        "traceback": failure.traceback,
+    }
+
+
+def _failure_from_payload(point: GridPoint, payload: dict) -> PointFailure:
+    """Rebuild a journaled :class:`PointFailure` for ``point``."""
+    return PointFailure(
+        point=point,
+        kind=payload.get("kind", "exception"),
+        error=payload.get("error", ""),
+        attempts=int(payload.get("attempts", 1)),
+        attempt_history=tuple(
+            tuple(t) for t in payload.get("attempt_history", ())
+        ),
+        traceback=payload.get("traceback", ""),
+    )
+
+
 #: Per-worker-process state, set once by the pool initializer.
-_WORKER: dict = {"cache_dir": None, "experiments": {}}
+_WORKER: dict = {"cache_dir": None, "experiments": {}, "rss_limit_mb": None}
 
 
-def _worker_init(cache_dir: str | None, obs_spec: dict | None = None) -> None:
+def _worker_init(cache_dir: str | None, obs_spec: dict | None = None,
+                 rss_limit_mb: float | None = None) -> None:
     _WORKER["cache_dir"] = cache_dir
     _WORKER["experiments"] = {}
+    _WORKER["rss_limit_mb"] = rss_limit_mb
     configure_worker(obs_spec)
 
 
@@ -331,12 +416,14 @@ def _worker_result(point: GridPoint) -> tuple[SimResult, dict]:
     hit/miss counters and worker spans survive the process boundary.
     """
     _maybe_fault_for_tests()
+    _check_rss_budget(_WORKER["rss_limit_mb"])
     res = _simulate_point(point, _WORKER["cache_dir"], _WORKER["experiments"])
     return res, collect_worker_payload()
 
 
 def _worker_duration(point: GridPoint) -> tuple[float, dict]:
     _maybe_fault_for_tests()
+    _check_rss_budget(_WORKER["rss_limit_mb"])
     res = _simulate_point(point, _WORKER["cache_dir"], _WORKER["experiments"])
     return res.duration, collect_worker_payload()
 
@@ -387,8 +474,24 @@ class ExperimentEngine:
         :class:`PointFailure` sentinels in the result list (and are
         recorded in :attr:`quarantine`); when False (default) the grid
         raises :class:`GridExecutionError` listing them.
+    checkpoint:
+        A :class:`~repro.experiments.checkpoint.CheckpointJournal`.
+        Every grid-point completion (quarantine decisions included) is
+        write-ahead journaled; points already present in the journal
+        are served from it without re-execution (the ``--resume``
+        path), counted by the ``checkpoint.replayed`` metric.
+    rss_limit_mb:
+        Per-process resident-set budget (MiB).  A worker (or the
+        serial path) whose RSS exceeds it fails the current point with
+        :class:`WorkerMemoryError` — a retryable, journalable failure —
+        instead of dying to the OOM killer and breaking the pool.
+        Defaults to ``$REPRO_WORKER_RSS_LIMIT_MB`` (unset = no budget).
 
     The engine is a context manager; :meth:`close` shuts the pool down.
+    :meth:`request_drain` (wired to SIGTERM/SIGINT by
+    :func:`~repro.experiments.checkpoint.graceful_drain`) makes the
+    next grid stop dispatching, journal in-flight completions, and
+    raise :class:`~repro.experiments.checkpoint.CampaignInterrupted`.
     """
 
     def __init__(
@@ -397,6 +500,8 @@ class ExperimentEngine:
         cache_dir: str | Path | None = None,
         retry: RetryPolicy | None = None,
         degraded: bool = False,
+        checkpoint: CheckpointJournal | None = None,
+        rss_limit_mb: float | None = None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -404,10 +509,95 @@ class ExperimentEngine:
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
         self.retry = retry if retry is not None else RetryPolicy()
         self.degraded = bool(degraded)
+        self.checkpoint = checkpoint
+        if rss_limit_mb is None:
+            raw = os.environ.get("REPRO_WORKER_RSS_LIMIT_MB")
+            if raw:
+                try:
+                    rss_limit_mb = float(raw)
+                except ValueError:
+                    rss_limit_mb = None
+        self.rss_limit_mb = rss_limit_mb
         #: Points that exhausted their retry budget, by grid point.
         self.quarantine: dict[GridPoint, PointFailure] = {}
         self._experiments: dict = {}
         self._pool: ProcessPoolExecutor | None = None
+        self._drain = threading.Event()
+
+    # -- drain (graceful SIGTERM/SIGINT) -------------------------------------
+    def request_drain(self) -> None:
+        """Stop dispatching new grid points; journal what completes.
+
+        Async-signal safe (sets an event); the running grid notices at
+        its next scheduling step and raises
+        :class:`~repro.experiments.checkpoint.CampaignInterrupted`
+        after journaling every completion already in flight.
+        """
+        self._drain.set()
+
+    @property
+    def drain_requested(self) -> bool:
+        return self._drain.is_set()
+
+    @property
+    def mediated(self) -> bool:
+        """True when work should route through the engine even for one
+        serial process — a parallel pool, degraded bookkeeping, or a
+        checkpoint journal all need to see every point."""
+        return self.jobs > 1 or self.degraded or self.checkpoint is not None
+
+    def _interrupted(self, remaining: int) -> CampaignInterrupted:
+        run_id = self.checkpoint.run_id if self.checkpoint is not None else None
+        get_registry().counter("engine.drains").inc()
+        run = current_run()
+        if run is not None:
+            run.record("campaign_drained", remaining=remaining)
+        return CampaignInterrupted(run_id, remaining=remaining)
+
+    # -- checkpoint serve/record ---------------------------------------------
+    def _serve_checkpoint(self, point: GridPoint, mode: str):
+        """The journaled value for ``point`` (result, duration, or —
+        in degraded mode — a restored :class:`PointFailure`); None
+        when the journal cannot answer and the point must run."""
+        if self.checkpoint is None:
+            return None
+        hit = self.checkpoint.lookup(point_key(point), mode)
+        if hit is None:
+            return None
+        if hit.mode == "failure":
+            # Strict engines give journaled failures a fresh chance;
+            # degraded engines reproduce the quarantine decision.
+            if not self.degraded:
+                return None
+            failure = _failure_from_payload(point, hit.payload)
+            self.quarantine[point] = failure
+            get_registry().counter("checkpoint.replayed").inc()
+            return failure
+        if hit.mode == "result":
+            try:
+                res = SimResult.from_dict(hit.payload["result"])
+            except (KeyError, TypeError, ValueError):
+                return None  # corrupt payload: re-run the point
+            get_registry().counter("checkpoint.replayed").inc()
+            return res if mode == "result" else res.duration
+        if mode != "duration" or "duration" not in hit.payload:
+            return None
+        get_registry().counter("checkpoint.replayed").inc()
+        return hit.payload["duration"]
+
+    def _journal_value(self, point: GridPoint, mode: str, value) -> None:
+        """Write-ahead journal one completion (results and failures)."""
+        if self.checkpoint is None:
+            return
+        key = point_key(point)
+        if isinstance(value, PointFailure):
+            self.checkpoint.record(key, "failure", _failure_payload(value))
+        elif mode == "result":
+            if self.checkpoint.lookup(key, "result") is None:
+                self.checkpoint.record(key, "result",
+                                       {"result": value.to_dict()})
+        elif self.checkpoint.entries.get((key, "duration")) is None:
+            self.checkpoint.record(key, "duration", {"duration": value})
 
     # -- lifecycle ----------------------------------------------------------
     def close(self) -> None:
@@ -449,7 +639,7 @@ class ExperimentEngine:
             self._pool = ProcessPoolExecutor(
                 max_workers=self.jobs,
                 initializer=_worker_init,
-                initargs=(self.cache_dir, worker_config()),
+                initargs=(self.cache_dir, worker_config(), self.rss_limit_mb),
             )
         return self._pool
 
@@ -457,19 +647,27 @@ class ExperimentEngine:
     def _map_points(self, pool_fn: Callable, points: list[GridPoint]) -> list:
         """Fan ``pool_fn`` over the points via the pool, preserving order.
 
-        Warm points — answerable from the persistent cache without
-        building a trace or replaying — are resolved directly in the
-        parent; only actual misses pay worker dispatch.  The misses are
-        sorted by experiment identity so one worker tends to replay all
-        platform variations of the same trace (per-process experiment
-        reuse); results come back in the input order.
+        Points answerable without execution are resolved directly in
+        the parent — first from the checkpoint journal (the resume
+        path), then from the persistent cache (warm hits) — and only
+        actual misses pay worker dispatch.  The misses are sorted by
+        experiment identity so one worker tends to replay all platform
+        variations of the same trace (per-process experiment reuse);
+        results come back in the input order.
 
         Worker failures are retried per :attr:`retry`; permanently dead
-        points surface per :attr:`degraded` (sentinel or raise).
+        points surface per :attr:`degraded` (sentinel or raise).  Every
+        completion — warm hits included — is write-ahead journaled when
+        a checkpoint is attached.
         """
+        mode = "result" if pool_fn is _worker_result else "duration"
         out: list = [None] * len(points)
         miss: list[int] = []
         for i, p in enumerate(points):
+            served = self._serve_checkpoint(p, mode)
+            if served is not None:
+                out[i] = served
+                continue
             hit = None
             if self.cache_dir is not None:
                 exp = _resolve_experiment(p, self.cache_dir, self._experiments)
@@ -478,15 +676,18 @@ class ExperimentEngine:
                     buses=p.buses, latency=p.latency,
                 )
             if hit is not None:
-                out[i] = hit if pool_fn is _worker_result else hit.duration
+                out[i] = hit if mode == "result" else hit.duration
+                self._journal_value(p, mode, out[i])
             else:
                 miss.append(i)
         if not miss:
             return out
+        if self._drain.is_set():
+            raise self._interrupted(remaining=len(miss))
         order = sorted(miss, key=lambda i: (repr(points[i].experiment_key()), i))
         failures: list[PointFailure] = []
         self._run_resilient(
-            pool_fn, [(i, points[i]) for i in order], out, failures,
+            pool_fn, mode, [(i, points[i]) for i in order], out, failures,
         )
         if failures and not self.degraded:
             raise GridExecutionError(failures)
@@ -495,6 +696,7 @@ class ExperimentEngine:
     def _run_resilient(
         self,
         pool_fn: Callable,
+        mode: str,
         indexed: list[tuple[int, GridPoint]],
         out: list,
         failures: list[PointFailure],
@@ -508,6 +710,11 @@ class ExperimentEngine:
         wall-clock budget exceeded — same recycle, charge only the
         expired points).  A point that spends its attempt budget is
         quarantined; its slot receives a :class:`PointFailure`.
+
+        A drain request (:meth:`request_drain`) is honored at the next
+        scheduling step: queued futures are cancelled, running ones are
+        awaited and journaled, and the grid raises
+        :class:`~repro.experiments.checkpoint.CampaignInterrupted`.
         """
         retry = self.retry
         reg = get_registry()
@@ -524,7 +731,7 @@ class ExperimentEngine:
                    kind: str, error: str, elapsed: float,
                    tb: str = "") -> None:
             history.setdefault(slot, []).append((kind, elapsed, error))
-            if attempt < retry.max_attempts:
+            if attempt < retry.max_attempts and not self._drain.is_set():
                 delay = retry.delay(attempt)
                 _log.warning(
                     "grid point %s/%s failed (%s, attempt %d/%d): %s; "
@@ -537,6 +744,10 @@ class ExperimentEngine:
                     time.sleep(delay)
                 submit(slot, point, attempt + 1)
                 return
+            if attempt < retry.max_attempts:
+                # Draining: don't burn the point's remaining attempts —
+                # leave its slot empty so a resume re-runs it fresh.
+                return
             failure = PointFailure(
                 point=point, kind=kind, error=error, attempts=attempt,
                 attempt_history=tuple(history.get(slot, ())), traceback=tb,
@@ -544,6 +755,7 @@ class ExperimentEngine:
             self.quarantine[point] = failure
             failures.append(failure)
             out[slot] = failure
+            self._journal_value(point, mode, failure)
             reg.counter("engine.quarantined").inc()
             run = current_run()
             if run is not None:
@@ -553,9 +765,15 @@ class ExperimentEngine:
             _log.error("grid point quarantined: %s", failure.describe())
 
         for slot, point in indexed:
+            if self._drain.is_set():
+                break
             submit(slot, point, 1)
 
         while pending:
+            if self._drain.is_set():
+                self._drain_inflight(mode, pending, out)
+                remaining = sum(1 for slot, _ in indexed if out[slot] is None)
+                raise self._interrupted(remaining=remaining)
             timeout = None
             if retry.point_timeout is not None:
                 oldest = min(t0 for (_, _, _, t0) in pending.values())
@@ -617,20 +835,62 @@ class ExperimentEngine:
                     )
                 else:
                     out[slot] = value
+                    self._journal_value(point, mode, value)
                     _absorb_payload(payload)
+                    reg.counter("engine.points_executed").inc()
                     reg.histogram("engine.point_wall_seconds").observe(elapsed)
 
-    def _run_serial(self, points: list[GridPoint], to_value: Callable) -> list:
+        if self._drain.is_set():
+            remaining = sum(1 for slot, _ in indexed if out[slot] is None)
+            if remaining:
+                raise self._interrupted(remaining=remaining)
+
+    def _drain_inflight(self, mode: str, pending: dict, out: list) -> None:
+        """Drain step: cancel what never started, journal what finishes.
+
+        Queued futures are cancelled (their points re-run on resume);
+        futures already executing are awaited so their completions are
+        journaled — a drain loses no finished work.
+        """
+        running: dict[Future, tuple[int, GridPoint, int, float]] = {}
+        for fut, state in list(pending.items()):
+            if not fut.cancel():
+                running[fut] = state
+        pending.clear()
+        reg = get_registry()
+        for fut, (slot, point, _attempt, t0) in running.items():
+            try:
+                value, payload = fut.result(timeout=self.retry.point_timeout)
+            except Exception:  # noqa: BLE001 - drained points just re-run
+                continue
+            out[slot] = value
+            self._journal_value(point, mode, value)
+            _absorb_payload(payload)
+            reg.counter("engine.points_executed").inc()
+            reg.histogram("engine.point_wall_seconds").observe(
+                time.monotonic() - t0
+            )
+
+    def _run_serial(self, points: list[GridPoint], mode: str) -> list:
         """In-process reference path with the same failure contract."""
         out: list = []
         failures: list[PointFailure] = []
         reg = get_registry()
         for p in points:
+            if self._drain.is_set():
+                raise self._interrupted(remaining=len(points) - len(out))
+            served = self._serve_checkpoint(p, mode)
+            if served is not None:
+                out.append(served)
+                continue
             t0 = time.monotonic()
             try:
-                out.append(
-                    to_value(_simulate_point(p, self.cache_dir, self._experiments))
-                )
+                _check_rss_budget(self.rss_limit_mb)
+                res = _simulate_point(p, self.cache_dir, self._experiments)
+                value = res if mode == "result" else res.duration
+                out.append(value)
+                self._journal_value(p, mode, value)
+                reg.counter("engine.points_executed").inc()
                 reg.histogram("engine.point_wall_seconds").observe(
                     time.monotonic() - t0
                 )
@@ -642,6 +902,7 @@ class ExperimentEngine:
                     traceback="".join(_tb.format_exception(exc)),
                 )
                 self.quarantine[p] = failure
+                self._journal_value(p, mode, failure)
                 reg.counter("engine.quarantined").inc()
                 if not self.degraded:
                     raise GridExecutionError([failure]) from exc
@@ -659,9 +920,10 @@ class ExperimentEngine:
         strict mode such points raise :class:`GridExecutionError`.
         """
         points = list(points)
+        _maybe_selfkill("REPRO_TEST_SELFKILL_BEFORE_DISPATCH")
         with _span("engine.run_grid", points=len(points), jobs=self.jobs):
             if self.jobs <= 1 or len(points) <= 1:
-                return self._run_serial(points, lambda r: r)
+                return self._run_serial(points, "result")
             return self._map_points(_worker_result, points)
 
     def durations(self, points: Iterable[GridPoint]) -> list[float]:
@@ -672,9 +934,10 @@ class ExperimentEngine:
         :meth:`run_grid`.
         """
         points = list(points)
+        _maybe_selfkill("REPRO_TEST_SELFKILL_BEFORE_DISPATCH")
         with _span("engine.durations", points=len(points), jobs=self.jobs):
             if self.jobs <= 1 or len(points) <= 1:
-                return self._run_serial(points, lambda r: r.duration)
+                return self._run_serial(points, "duration")
             return self._map_points(_worker_duration, points)
 
     # -- experiment interop -------------------------------------------------
@@ -717,7 +980,7 @@ class ExperimentEngine:
         self._experiments.setdefault(base.experiment_key(), exp)
 
         def predicate_many(bandwidths: Sequence[float]) -> list[bool]:
-            if self.jobs <= 1 and not self.degraded:
+            if not self.mediated:
                 return [
                     exp.duration(variant, bandwidth_mbps=float(bw)) <= threshold
                     for bw in bandwidths

@@ -20,6 +20,7 @@ from ..paraver.timeline import iteration_bounds
 from .bandwidth import equivalent_bandwidth, relaxation_bandwidth
 from .cache import SimResultCache, TraceCache, sweep_cache_dir
 from .calibration import saturation_knee
+from .checkpoint import CampaignInterrupted, CheckpointJournal, graceful_drain
 from .parallel import DegradedBracketError, ExperimentEngine, GridExecutionError
 from .pipeline import AppExperiment
 from .tables import PAPER_CONSUMPTION, PAPER_PRODUCTION, figure5_series, pattern_row
@@ -79,6 +80,7 @@ def full_report(
     jobs: int = 1,
     cache_dir: str | Path | None = None,
     degraded: bool = False,
+    checkpoint: "CheckpointJournal | None" = None,
 ) -> str:
     """Build the complete text report (can take a few minutes).
 
@@ -88,10 +90,26 @@ def full_report(
     nearly free.  Results are identical regardless of ``jobs``.
     ``degraded=True`` lets the report finish with per-app FAILED rows
     when some replays keep dying, instead of aborting the whole run.
+
+    Passing a :class:`~repro.experiments.checkpoint.CheckpointJournal`
+    makes the campaign killable/resumable: completions are journaled
+    write-ahead, SIGTERM/SIGINT drain gracefully into a resumable
+    :class:`~repro.experiments.checkpoint.CampaignInterrupted`, and a
+    resumed run serves journaled points without re-execution.
     """
-    engine = ExperimentEngine(jobs=jobs, cache_dir=cache_dir, degraded=degraded)
+    engine = ExperimentEngine(jobs=jobs, cache_dir=cache_dir,
+                              degraded=degraded, checkpoint=checkpoint)
     try:
-        return _full_report(nranks, apps, include_bandwidth, engine)
+        with graceful_drain(engine):
+            return _full_report(nranks, apps, include_bandwidth, engine)
+    except CampaignInterrupted:
+        # Graceful drain already journaled in-flight completions; drop
+        # half-written staging files so the cache stays clean, then let
+        # the CLI map this to the "interrupted, resumable" exit code.
+        engine._discard_pool("interrupted (drained)")
+        if cache_dir is not None:
+            sweep_cache_dir(cache_dir)
+        raise
     except KeyboardInterrupt:
         # Fast teardown: a graceful close would wait for busy workers.
         # Kill them and drop the half-written staging files they (and
@@ -191,7 +209,7 @@ def _full_report(
             header += (f" {'relaxBW(real)':>14} {'relaxBW(ideal)':>15}"
                        f" {'equivBW(real)':>14} {'equivBW(ideal)':>15}")
         print(header, file=out)
-        eng = engine if engine.jobs > 1 else None
+        eng = engine if engine.mediated else None
         for a in apps:
             # One dead app must not take the rest of the table with it:
             # its row reports the failure and the loop moves on.
@@ -236,10 +254,14 @@ def main() -> None:  # pragma: no cover - exercised via CLI
                     help="report FAILED rows instead of aborting when "
                          "replays keep failing")
     args = ap.parse_args()
-    sys.stdout.write(full_report(nranks=args.nranks,
-                                 include_bandwidth=not args.no_bandwidth,
-                                 jobs=args.jobs, cache_dir=args.cache_dir,
-                                 degraded=args.degraded) + "\n")
+    try:
+        sys.stdout.write(full_report(nranks=args.nranks,
+                                     include_bandwidth=not args.no_bandwidth,
+                                     jobs=args.jobs, cache_dir=args.cache_dir,
+                                     degraded=args.degraded) + "\n")
+    except CampaignInterrupted as exc:
+        sys.stderr.write(f"{exc}\n")
+        sys.exit(5 if exc.resumable else 130)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -82,7 +82,7 @@ def scaling_study(
     study in the harness.
     """
     mach = machine or MachineConfig.paper_testbed(app)
-    if engine is not None and engine.jobs > 1:
+    if engine is not None and engine.mediated:
         from .parallel import GridPoint, _normalize_params
         params = _normalize_params(app_params)
         grid = [

@@ -53,7 +53,7 @@ def _sweep(
     """Run one (variant x value) grid, engine-fanned when available."""
     with _span("sweep", parameter=parameter, app=exp.app_name,
                points=len(xs) * len(variants)):
-        if engine is None or (engine.jobs <= 1 and not engine.degraded):
+        if engine is None or not engine.mediated:
             durations = {
                 v: tuple(exp.duration(v, **{parameter: x}) for x in xs)
                 for v in variants

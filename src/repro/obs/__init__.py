@@ -30,7 +30,14 @@ from .manifest import (
     new_run_id,
     worker_config,
 )
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry, get_registry
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    merge_counter_totals,
+)
 from .spans import SpanRecord, disable, enable, flush, is_enabled, span, traced
 from .export import (
     metrics_table,
@@ -60,6 +67,7 @@ __all__ = [
     "get_registry",
     "git_revision",
     "is_enabled",
+    "merge_counter_totals",
     "metrics_table",
     "new_run_id",
     "span",

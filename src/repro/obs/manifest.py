@@ -29,7 +29,7 @@ from typing import Any, TextIO
 
 from .. import __version__
 from . import spans
-from .metrics import get_registry
+from .metrics import get_registry, merge_counter_totals
 
 __all__ = [
     "RunContext", "collect_worker_payload", "configure_worker",
@@ -82,10 +82,18 @@ class RunContext:
         command: str | None = None,
         run_id: str | None = None,
         seed: int | None = None,
+        resume: bool = False,
     ):
         global _CURRENT
+        if resume and run_id is None:
+            raise ValueError("resume requires an explicit run_id")
         self.run_id = run_id or new_run_id()
         self.dir = Path(out_dir) / self.run_id
+        if resume and not self.dir.is_dir():
+            raise FileNotFoundError(
+                f"cannot resume run {self.run_id!r}: no run directory "
+                f"under {out_dir}"
+            )
         self.dir.mkdir(parents=True, exist_ok=True)
         self.command = command
         self.argv = list(argv) if argv is not None else list(sys.argv)
@@ -95,14 +103,44 @@ class RunContext:
         self.worker_events = 0
         self.worker_pids: set[int] = set()
         self.spans: list[dict] = []
+        #: Monotone run-sequence number: 1 for a fresh run, previous+1
+        #: for every resume of the same run ID.
+        self.run_seq = 1
+        #: Metric totals accumulated by earlier sequences of this run
+        #: (merged into the *manifest document* at finalize; the live
+        #: registry stays session-local so per-session assertions like
+        #: "zero points re-executed" keep meaning something).
+        self._prior_counters: dict[str, float] = {}
         self._events_path = self.dir / "events.jsonl"
+        self.manifest_path = self.dir / "manifest.json"
+        if resume:
+            prior = self._load_prior_manifest()
+            self.run_seq = int(prior.get("run_seq", 1)) + 1
+            # merged_counters already folds every earlier sequence in;
+            # fall back to the plain snapshot for pre-resume manifests.
+            merged = (prior.get("merged_counters")
+                      or (prior.get("metrics") or {}).get("counters") or {})
+            self._prior_counters = {
+                str(k): float(v) for k, v in merged.items()
+                if isinstance(v, (int, float))
+            }
         self._events: TextIO | None = self._events_path.open(
             "a", buffering=1, encoding="utf-8",
         )
-        self.manifest_path = self.dir / "manifest.json"
         _CURRENT = self
         self.record("run_start", command=command, argv=self.argv,
-                    pid=os.getpid())
+                    pid=os.getpid(), run_seq=self.run_seq)
+        if resume:
+            self.record("resumed_from", run_id=self.run_id,
+                        prior_seq=self.run_seq - 1)
+
+    def _load_prior_manifest(self) -> dict:
+        """The previous sequence's manifest ({} when absent/corrupt)."""
+        try:
+            doc = json.loads(self.manifest_path.read_text())
+        except (OSError, ValueError):
+            return {}
+        return doc if isinstance(doc, dict) else {}
 
     # -- event log -----------------------------------------------------------
     def record(self, kind: str, **fields: Any) -> None:
@@ -157,6 +195,8 @@ class RunContext:
         global _CURRENT
         self.drain_spans()
         wall = time.perf_counter() - self._t0
+        snapshot = get_registry().snapshot()
+        merged = merge_counter_totals(self._prior_counters, snapshot)
         manifest = {
             "run_id": self.run_id,
             "command": self.command,
@@ -169,10 +209,15 @@ class RunContext:
             "started": self.started,
             "wall_seconds": wall,
             "pid": os.getpid(),
+            "run_seq": self.run_seq,
             "worker_pids": sorted(self.worker_pids),
             "worker_events": self.worker_events,
             "spans": len(self.spans),
-            "metrics": get_registry().snapshot(),
+            "metrics": snapshot,
+            # Counter totals across every sequence of this run ID (the
+            # per-session snapshot above stays untouched so session
+            # assertions keep their meaning).
+            "merged_counters": merged,
         }
         manifest.update(extra)
         self.record("run_end", status=status, wall_seconds=wall)
@@ -199,7 +244,16 @@ def worker_config() -> dict:
 
 
 def configure_worker(spec: dict | None) -> None:
-    """Apply a :func:`worker_config` spec inside a worker process."""
+    """Apply a :func:`worker_config` spec inside a worker process.
+
+    A forked worker inherits the parent registry mid-flight, including
+    its un-flushed counter deltas and span buffer; both are drained
+    here (and discarded) so the worker's first payload ships only what
+    *this process* observed — otherwise every worker would re-report
+    the parent's pre-fork activity and the funnel would double-count.
+    """
+    get_registry().flush_delta()
+    spans.flush()
     if spec and spec.get("spans"):
         spans.enable()
     else:

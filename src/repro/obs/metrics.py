@@ -29,7 +29,26 @@ from typing import Iterable
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "get_registry",
+    "merge_counter_totals",
 ]
+
+
+def merge_counter_totals(prior: dict | None, snapshot: dict | None) -> dict:
+    """Fold a snapshot's counters into prior cross-sequence totals.
+
+    Used by resumed run manifests: ``prior`` holds the counter totals
+    accumulated by earlier sequences of the same run ID, ``snapshot``
+    is this session's :meth:`MetricsRegistry.snapshot`.  Returns a new
+    ``{name: total}`` map; non-numeric values are ignored.
+    """
+    merged = {
+        str(k): float(v) for k, v in (prior or {}).items()
+        if isinstance(v, (int, float))
+    }
+    for name, value in ((snapshot or {}).get("counters") or {}).items():
+        if isinstance(value, (int, float)):
+            merged[name] = merged.get(name, 0.0) + value
+    return merged
 
 
 class Counter:

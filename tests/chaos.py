@@ -1,0 +1,128 @@
+"""Chaos harness: a tiny killable/resumable campaign driver.
+
+Run as a subprocess by ``tests/test_chaos.py`` (and by hand when
+debugging crash-recovery)::
+
+    python tests/chaos.py --obs-dir OBS --cache-dir CACHE --out TABLE \
+        [--resume RUN_ID] [--jobs N] [--metrics-json FILE]
+
+The driver runs a small deterministic Sweep3D grid through an
+:class:`~repro.experiments.parallel.ExperimentEngine` with a
+:class:`~repro.experiments.checkpoint.CheckpointJournal` attached and
+writes the campaign's final table (one formatted row per grid point)
+to ``--out``.  The harness SIGKILLs it at chosen or randomized
+instants — via the ``REPRO_TEST_SELFKILL_*`` hooks or an external
+``killpg`` — then re-invokes it with ``--resume`` and asserts the
+final table is bitwise-identical to an uninterrupted run's, with zero
+re-execution of journaled points.
+
+Exit codes mirror the CLI contract: 0 done, 5 interrupted-but-
+resumable (graceful drain), 130 hard interrupt.
+
+The first stdout line is always ``run-id: <id>`` so the harness can
+learn what to pass to ``--resume``.  ``--metrics-json`` dumps the
+*session* counters (``checkpoint.replayed``,
+``engine.points_executed``, ...) at campaign end for the harness's
+zero-re-execution assertions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments import (  # noqa: E402
+    CampaignInterrupted,
+    CheckpointJournal,
+    ExperimentEngine,
+    expand_grid,
+    graceful_drain,
+)
+from repro.obs import RunContext, get_registry  # noqa: E402
+
+#: A tiny Sweep3D instance so every grid point replays in milliseconds.
+TINY = dict(nx=8, ny=8, nz=4, mk=2, angle_block=2, iterations=1)
+
+
+def campaign_points():
+    """The deterministic grid every chaos run executes (8 points)."""
+    return expand_grid(
+        ["sweep3d"],
+        variants=("original", "real"),
+        bandwidths=(None, 100.0, 50.0, 25.0),
+        nranks=4,
+        app_params=TINY,
+    )
+
+
+def render_table(points, results) -> str:
+    """The campaign's final table: one row per grid point.
+
+    Floats are ``repr``-formatted, so two runs that produced the same
+    results render bitwise-identical text.
+    """
+    rows = ["app variant bandwidth duration efficiency"]
+    for p, r in zip(points, results):
+        bw = "inf" if p.bandwidth_mbps is None else repr(p.bandwidth_mbps)
+        rows.append(f"{p.app} {p.variant} {bw} "
+                    f"{r.duration!r} {r.parallel_efficiency!r}")
+    return "\n".join(rows) + "\n"
+
+
+def dump_metrics(path: str | None) -> None:
+    if not path:
+        return
+    reg = get_registry()
+    Path(path).write_text(json.dumps(reg.snapshot()["counters"], indent=1))
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--obs-dir", required=True)
+    ap.add_argument("--cache-dir", default=None)
+    ap.add_argument("--out", required=True)
+    ap.add_argument("--resume", default=None, metavar="RUN_ID")
+    ap.add_argument("--jobs", type=int, default=1)
+    ap.add_argument("--metrics-json", default=None)
+    args = ap.parse_args(argv)
+
+    run = RunContext(args.obs_dir, command="chaos-campaign",
+                     run_id=args.resume, resume=bool(args.resume))
+    print(f"run-id: {run.run_id}", flush=True)
+    journal = CheckpointJournal(run.dir / "journal.jsonl", run_id=run.run_id)
+    engine = ExperimentEngine(jobs=args.jobs, cache_dir=args.cache_dir,
+                              checkpoint=journal)
+    points = campaign_points()
+    try:
+        with graceful_drain(engine):
+            if os.environ.get("REPRO_TEST_CHAOS_SELF_SIGTERM"):
+                # Deterministic drain: deliver SIGTERM to ourselves with
+                # the handler armed, as an operator's `kill` would.
+                os.kill(os.getpid(), signal.SIGTERM)
+            results = engine.run_grid(points)
+    except CampaignInterrupted as exc:
+        dump_metrics(args.metrics_json)
+        run.finalize(status="interrupted")
+        journal.close()
+        print(f"interrupted: {exc}", file=sys.stderr)
+        return 5
+    except KeyboardInterrupt:
+        run.finalize(status="error")
+        journal.close()
+        return 130
+    Path(args.out).write_text(render_table(points, results))
+    dump_metrics(args.metrics_json)
+    run.finalize(status="ok")
+    journal.close()
+    engine.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,254 @@
+"""Kill-and-resume matrix against the chaos driver (``tests/chaos.py``).
+
+Each scenario runs the driver as a real subprocess, kills it at a
+chosen or randomized instant (SIGKILL — no cleanup, no atexit), then
+re-invokes it with ``--resume`` and asserts:
+
+* the resumed campaign's final table is **bitwise-identical** to an
+  uninterrupted run's, and
+* **zero re-execution** of journaled points: in the final session,
+  ``checkpoint.replayed`` equals the journal's entry count at resume
+  and ``checkpoint.replayed + engine.points_executed`` covers the
+  whole grid.
+
+Also covers the graceful-drain contract: SIGTERM → journal in-flight,
+exit code 5, resumable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import replay_journal
+
+DRIVER = Path(__file__).resolve().parent / "chaos.py"
+TOTAL_POINTS = 8  # len(chaos.campaign_points())
+SIGKILLED = -signal.SIGKILL
+
+
+def scrubbed_env(extra: dict | None = None) -> dict:
+    """Inherited env minus any chaos hooks a caller left armed."""
+    env = {k: v for k, v in os.environ.items()
+           if not k.startswith("REPRO_TEST_")}
+    env.update(extra or {})
+    return env
+
+
+class DriverRun:
+    """Outcome of one chaos-driver invocation."""
+
+    def __init__(self, returncode: int, stdout: str, stderr: str):
+        self.returncode = returncode
+        self.stdout = stdout
+        self.stderr = stderr
+
+
+def invoke(workdir: Path, *, resume: str | None = None,
+           env: dict | None = None, jobs: int = 1):
+    """Run the chaos driver to completion; return (run, run_id).
+
+    Output goes to files, not pipes: a SIGKILLed driver can leave
+    orphaned pool workers holding inherited pipe ends, which would
+    stall a ``communicate()``-style wait for EOF indefinitely.
+    """
+    cmd = [
+        sys.executable, str(DRIVER),
+        "--obs-dir", str(workdir / "obs"),
+        "--cache-dir", str(workdir / "cache"),
+        "--out", str(workdir / "table.txt"),
+        "--metrics-json", str(workdir / "metrics.json"),
+        "--jobs", str(jobs),
+    ]
+    if resume:
+        cmd += ["--resume", resume]
+    out_path = workdir / "driver-stdout.log"
+    err_path = workdir / "driver-stderr.log"
+    with open(out_path, "w") as out, open(err_path, "w") as err:
+        proc = subprocess.Popen(cmd, stdout=out, stderr=err,
+                                env=scrubbed_env(env),
+                                start_new_session=True)
+        try:
+            returncode = proc.wait(timeout=120)
+        finally:
+            # Reap any orphaned pool workers a SIGKILLed driver left
+            # behind — they must not keep draining the call queue while
+            # the resumed campaign runs.
+            try:
+                os.killpg(proc.pid, signal.SIGKILL)
+            except (ProcessLookupError, PermissionError):
+                pass
+    run = DriverRun(returncode, out_path.read_text(),
+                    err_path.read_text())
+    run_id = None
+    for line in run.stdout.splitlines():
+        if line.startswith("run-id: "):
+            run_id = line.removeprefix("run-id: ").strip()
+            break
+    return run, run_id
+
+
+def journal_path(workdir: Path, run_id: str) -> Path:
+    return workdir / "obs" / run_id / "journal.jsonl"
+
+
+def journaled_points(workdir: Path, run_id: str) -> int:
+    """Unique journaled completions that a resume can serve."""
+    path = journal_path(workdir, run_id)
+    if not path.exists():
+        return 0
+    entries, _, _ = replay_journal(path)
+    return len(entries)
+
+
+def final_metrics(workdir: Path) -> dict:
+    return json.loads((workdir / "metrics.json").read_text())
+
+
+def assert_resumed_clean(workdir: Path, run_id: str, baseline: str,
+                         served: int) -> None:
+    """The post-resume invariants every scenario shares."""
+    assert (workdir / "table.txt").read_text() == baseline
+    metrics = final_metrics(workdir)
+    replayed = metrics.get("checkpoint.replayed", 0)
+    executed = metrics.get("engine.points_executed", 0)
+    # Zero re-execution: every journaled point was served, not re-run,
+    # and together they cover the whole grid.
+    assert replayed == served
+    assert replayed + executed == TOTAL_POINTS
+
+
+@pytest.fixture(scope="module")
+def baseline(tmp_path_factory) -> str:
+    """Final table of an uninterrupted campaign (the bitwise oracle)."""
+    workdir = tmp_path_factory.mktemp("chaos-baseline")
+    proc, run_id = invoke(workdir)
+    assert proc.returncode == 0, proc.stderr
+    metrics = final_metrics(workdir)
+    assert metrics["checkpoint.journaled"] == TOTAL_POINTS
+    assert metrics["engine.points_executed"] == TOTAL_POINTS
+    return (workdir / "table.txt").read_text()
+
+
+class TestKillAndResume:
+    def test_sigkill_pre_dispatch(self, tmp_path, baseline):
+        proc, run_id = invoke(
+            tmp_path, env={"REPRO_TEST_SELFKILL_BEFORE_DISPATCH": "1"})
+        assert proc.returncode == SIGKILLED
+        assert run_id is not None
+        assert journaled_points(tmp_path, run_id) == 0
+
+        proc, _ = invoke(tmp_path, resume=run_id)
+        assert proc.returncode == 0, proc.stderr
+        assert_resumed_clean(tmp_path, run_id, baseline, served=0)
+
+    @pytest.mark.parametrize("after", [1, 3, 7])
+    def test_sigkill_mid_campaign_after_nth_journal_append(
+            self, tmp_path, baseline, after):
+        proc, run_id = invoke(
+            tmp_path,
+            env={"REPRO_TEST_SELFKILL_AFTER_APPEND": str(after)})
+        assert proc.returncode == SIGKILLED
+        served = journaled_points(tmp_path, run_id)
+        assert served == after  # the kill landed right after the append
+
+        proc, _ = invoke(tmp_path, resume=run_id)
+        assert proc.returncode == 0, proc.stderr
+        assert_resumed_clean(tmp_path, run_id, baseline, served=served)
+
+    def test_sigkill_post_journal_full_grid(self, tmp_path, baseline):
+        """Killed after the last append: resume re-executes *nothing*."""
+        proc, run_id = invoke(
+            tmp_path,
+            env={"REPRO_TEST_SELFKILL_AFTER_APPEND": str(TOTAL_POINTS)})
+        assert proc.returncode == SIGKILLED
+        assert journaled_points(tmp_path, run_id) == TOTAL_POINTS
+
+        proc, _ = invoke(tmp_path, resume=run_id)
+        assert proc.returncode == 0, proc.stderr
+        assert_resumed_clean(tmp_path, run_id, baseline,
+                             served=TOTAL_POINTS)
+        assert final_metrics(tmp_path).get("engine.points_executed", 0) == 0
+
+    def test_sigkill_at_randomized_instant(self, tmp_path, baseline):
+        """The acceptance scenario: SIGKILL at a random instant, resume,
+        bitwise-identical table, zero re-execution of journaled points."""
+        rng = random.Random(0xC4A05)
+        for trial in range(3):
+            workdir = tmp_path / f"trial{trial}"
+            workdir.mkdir()
+            cmd = [
+                sys.executable, str(DRIVER),
+                "--obs-dir", str(workdir / "obs"),
+                "--cache-dir", str(workdir / "cache"),
+                "--out", str(workdir / "table.txt"),
+                "--metrics-json", str(workdir / "metrics.json"),
+            ]
+            proc = subprocess.Popen(
+                cmd, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+                text=True, env=scrubbed_env(), start_new_session=True)
+            first = proc.stdout.readline()
+            assert first.startswith("run-id: ")
+            run_id = first.removeprefix("run-id: ").strip()
+            time.sleep(rng.uniform(0.0, 0.4))
+            try:
+                os.killpg(proc.pid, signal.SIGKILL)
+            except ProcessLookupError:
+                pass  # campaign finished before the kill landed
+            proc.communicate(timeout=60)
+
+            if proc.returncode == 0:
+                # Outran the kill: already a complete, identical table.
+                assert (workdir / "table.txt").read_text() == baseline
+                continue
+            assert proc.returncode == SIGKILLED
+            served = journaled_points(workdir, run_id)
+            proc2, _ = invoke(workdir, resume=run_id)
+            assert proc2.returncode == 0, proc2.stderr
+            assert_resumed_clean(workdir, run_id, baseline, served=served)
+
+    def test_sigkill_and_resume_with_worker_pool(self, tmp_path, baseline):
+        proc, run_id = invoke(
+            tmp_path, jobs=2,
+            env={"REPRO_TEST_SELFKILL_AFTER_APPEND": "2"})
+        assert proc.returncode == SIGKILLED
+        served = journaled_points(tmp_path, run_id)
+        assert served >= 2
+
+        proc, _ = invoke(tmp_path, resume=run_id, jobs=2)
+        assert proc.returncode == 0, proc.stderr
+        assert (tmp_path / "table.txt").read_text() == baseline
+        metrics = final_metrics(tmp_path)
+        assert metrics.get("checkpoint.replayed", 0) == served
+
+
+class TestGracefulDrain:
+    def test_sigterm_drains_to_exit_5_then_resume(self, tmp_path, baseline):
+        proc, run_id = invoke(
+            tmp_path, env={"REPRO_TEST_CHAOS_SELF_SIGTERM": "1"})
+        assert proc.returncode == 5, (proc.stdout, proc.stderr)
+        assert "interrupted" in proc.stderr
+        # The drain journaled whatever was in flight and stopped cleanly.
+        served = journaled_points(tmp_path, run_id)
+        assert served < TOTAL_POINTS
+
+        proc, _ = invoke(tmp_path, resume=run_id)
+        assert proc.returncode == 0, proc.stderr
+        assert_resumed_clean(tmp_path, run_id, baseline, served=served)
+
+    def test_interrupted_run_is_listed_as_resumable(self, tmp_path):
+        proc, run_id = invoke(
+            tmp_path, env={"REPRO_TEST_CHAOS_SELF_SIGTERM": "1"})
+        assert proc.returncode == 5
+        from repro.experiments import list_runs
+        runs = {r["run_id"]: r for r in list_runs(tmp_path / "obs")}
+        assert runs[run_id]["resumable"]
+        assert runs[run_id]["status"] == "interrupted"
