@@ -20,6 +20,7 @@ from ..trace.records import IRecv, ISend, Recv, Send, TraceSet
 
 __all__ = [
     "MessagePair",
+    "match_columnar",
     "match_messages",
     "match_messages_cached",
     "match_messages_lenient",
@@ -104,6 +105,58 @@ def match_messages_lenient(trace: TraceSet) -> tuple[list[MessagePair], list[str
                 MessagePair(
                     src=key[0], send_index=si, dst=key[1], recv_index=ri,
                     size=srec.size, context=key[2], channel=key[3],
+                    tag=key[4], sub=key[5],
+                )
+            )
+        if len(s) != len(r):
+            leftovers.append(
+                f"src={key[0]} dst={key[1]} context={key[2]} channel={key[3]} "
+                f"tag={key[4]} sub={key[5]}: {len(s)} send(s) vs {len(r)} recv(s)"
+            )
+
+    pairs.sort(key=lambda p: (p.src, p.send_index))
+    return pairs, leftovers
+
+
+def match_columnar(col) -> tuple[list[MessagePair], list[str]]:
+    """:func:`match_messages_lenient` over a packed columnar trace.
+
+    Walks the int columns of a
+    :class:`~repro.trace.columnar.ColumnarTrace` directly — no record
+    objects, no attribute dispatch — and produces the *identical*
+    ``(pairs, leftovers)`` output: same :class:`MessagePair` values in
+    the same order, same leftover description strings.  This is the
+    matcher of the replay hot path; the record-object variants above
+    remain the matchers of the transformation stage.
+    """
+    from ..trace.columnar import OP_IRECV, OP_ISEND, OP_RECV, OP_SEND
+
+    sends: dict[tuple, deque] = defaultdict(deque)
+    recvs: dict[tuple, deque] = defaultdict(deque)
+
+    for rank, rc in enumerate(col.ranks):
+        op = rc.op
+        peer, tag, sub = rc.peer, rc.tag, rc.sub
+        channel, context, size = rc.channel, rc.context, rc.size
+        for i in range(rc.n):
+            o = op[i]
+            if o == OP_SEND or o == OP_ISEND:
+                key = (rank, peer[i], context[i], channel[i], tag[i], sub[i])
+                sends[key].append((i, size[i]))
+            elif o == OP_RECV or o == OP_IRECV:
+                key = (peer[i], rank, context[i], channel[i], tag[i], sub[i])
+                recvs[key].append(i)
+
+    pairs: list[MessagePair] = []
+    leftovers: list[str] = []
+    empty: deque = deque()
+    for key in sorted(set(sends) | set(recvs)):
+        s, r = sends.get(key, empty), recvs.get(key, empty)
+        for (si, ssize), ri in zip(s, r):
+            pairs.append(
+                MessagePair(
+                    src=key[0], send_index=si, dst=key[1], recv_index=ri,
+                    size=ssize, context=key[2], channel=key[3],
                     tag=key[4], sub=key[5],
                 )
             )

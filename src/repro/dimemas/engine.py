@@ -58,13 +58,18 @@ class EventLoop:
 
     def at(self, time: float, fn: Callable[[], None]) -> None:
         """Schedule ``fn`` at absolute ``time`` (>= now)."""
-        if math.isnan(time):
-            raise ValueError("cannot schedule an event at NaN time")
-        if time < self.now - 1e-12:
-            raise ValueError(
-                f"cannot schedule into the past: t={time} < now={self.now}"
-            )
-        heapq.heappush(self._heap, (max(time, self.now), self._seq, fn))
+        now = self.now
+        # Single guard for the common case: a NaN time fails this
+        # comparison too, so the fast path costs one branch.
+        if not time >= now:
+            if math.isnan(time):
+                raise ValueError("cannot schedule an event at NaN time")
+            if time < now - 1e-12:
+                raise ValueError(
+                    f"cannot schedule into the past: t={time} < now={now}"
+                )
+            time = now
+        heapq.heappush(self._heap, (time, self._seq, fn))
         self._seq += 1
 
     def after(self, delay: float, fn: Callable[[], None]) -> None:
@@ -88,19 +93,32 @@ class EventLoop:
         never runs an event past the limit.
         """
         budget = math.inf if max_events is None else self.executed + max_events
+        time_limit = math.inf if max_time is None else max_time
         sampler = self.depth_sampler
         mask = self.SAMPLE_EVERY - 1
-        while self._heap:
-            if self.executed >= budget:
-                raise WatchdogExpired("max_events", self.now, self.executed)
-            if max_time is not None and self._heap[0][0] > max_time:
-                raise WatchdogExpired("max_sim_time", self.now, self.executed)
-            time, _, fn = heapq.heappop(self._heap)
-            self.now = time
-            self.executed += 1
-            if sampler is not None and not (self.executed & mask):
-                sampler(len(self._heap))
-            fn()
+        heap = self._heap
+        pop = heapq.heappop
+        executed = self.executed
+        # ``executed`` stays in a local inside the loop (one store per
+        # event saved); the finally clause keeps the attribute exact on
+        # every exit — normal drain, watchdog raise, or a callback
+        # raising through us.
+        try:
+            while heap:
+                if executed >= budget:
+                    raise WatchdogExpired("max_events", self.now, executed)
+                time, _, fn = heap[0]
+                if time > time_limit:
+                    raise WatchdogExpired("max_sim_time", self.now, executed)
+                pop(heap)
+                self.now = time
+                executed += 1
+                if sampler is not None and not (executed & mask):
+                    self.executed = executed
+                    sampler(len(heap))
+                fn()
+        finally:
+            self.executed = executed
         return self.now
 
     @property

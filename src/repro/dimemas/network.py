@@ -29,13 +29,15 @@ from .machine import MachineConfig
 __all__ = ["Network", "Transfer"]
 
 
-@dataclass
+@dataclass(slots=True)
 class Transfer:
     """One point-to-point message moving through the platform.
 
     Filled in progressively by the replay driver (protocol handshake)
     and the network (timing).  All times are absolute seconds; ``None``
-    = not yet known.
+    = not yet known.  ``slots=True``: transfer attributes are read in
+    the replay inner loop, and a few thousand instances are built per
+    replay.
     """
 
     src: int
@@ -59,14 +61,19 @@ class Transfer:
 
     injected: bool = False
     arrived: bool = False
-    _inject_waiters: list[Callable[[float], None]] = field(default_factory=list)
-    _arrival_waiters: list[Callable[[float], None]] = field(default_factory=list)
+    #: Completion callbacks, allocated lazily — most transfers complete
+    #: with no subscriber, and skipping two list allocations per
+    #: transfer is measurable at replay scale.
+    _inject_waiters: list[Callable[[float], None]] | None = None
+    _arrival_waiters: list[Callable[[float], None]] | None = None
 
     # -- completion subscription ------------------------------------------------
     def on_injected(self, fn: Callable[[float], None]) -> None:
         """Call ``fn(inject_time)`` once injection completes."""
         if self.injected:
             fn(self.inject_time)  # type: ignore[arg-type]
+        elif self._inject_waiters is None:
+            self._inject_waiters = [fn]
         else:
             self._inject_waiters.append(fn)
 
@@ -74,22 +81,26 @@ class Transfer:
         """Call ``fn(arrival_time)`` once the payload is delivered."""
         if self.arrived:
             fn(self.arrival_time)  # type: ignore[arg-type]
+        elif self._arrival_waiters is None:
+            self._arrival_waiters = [fn]
         else:
             self._arrival_waiters.append(fn)
 
     def _fire_injected(self, t: float) -> None:
         self.injected = True
         self.inject_time = t
-        waiters, self._inject_waiters = self._inject_waiters, []
-        for fn in waiters:
-            fn(t)
+        waiters, self._inject_waiters = self._inject_waiters, None
+        if waiters:
+            for fn in waiters:
+                fn(t)
 
     def _fire_arrived(self, t: float) -> None:
         self.arrived = True
         self.arrival_time = t
-        waiters, self._arrival_waiters = self._arrival_waiters, []
-        for fn in waiters:
-            fn(t)
+        waiters, self._arrival_waiters = self._arrival_waiters, None
+        if waiters:
+            for fn in waiters:
+                fn(t)
 
 
 class Network:
@@ -103,6 +114,13 @@ class Network:
         self._free_out = [cfg.output_ports] * nranks
         self._free_in = [cfg.input_ports] * nranks
         self._queue: list[Transfer] = []
+        #: Hoisted platform constants — read once per transfer in the
+        #: replay inner loop instead of walking ``cfg`` attributes.
+        self._latency = cfg.latency
+        self._bandwidth = cfg.bandwidth
+        #: With one core per node no pair of distinct ranks shares a
+        #: node, so the SMP branch can be skipped wholesale.
+        self._smp_possible = (cfg.cores_per_node or 1) > 1
         #: Peak number of simultaneously active transfers (diagnostics).
         self.peak_active = 0
         self._active = 0
@@ -116,15 +134,17 @@ class Network:
         Must be called at ``loop.now == transfer.ready_time`` (the
         replay driver schedules the call accordingly).
         """
-        transfer.ready_time = self.loop.now
+        loop = self.loop
+        now = loop.now
+        transfer.ready_time = now
         if transfer.size == 0 or transfer.src == transfer.dst:
             # Pure sync or self-message: latency only, no resources.
-            transfer.start_time = self.loop.now
-            self.loop.after(0.0, lambda: transfer._fire_injected(self.loop.now))
-            lat = 0.0 if transfer.src == transfer.dst else self.cfg.latency
-            self.loop.after(lat, lambda: transfer._fire_arrived(self.loop.now))
+            transfer.start_time = now
+            loop.at(now, lambda: transfer._fire_injected(loop.now))
+            lat = 0.0 if transfer.src == transfer.dst else self._latency
+            loop.at(now + lat, lambda: transfer._fire_arrived(loop.now))
             return
-        if self.cfg.same_node(transfer.src, transfer.dst):
+        if self._smp_possible and self.cfg.same_node(transfer.src, transfer.dst):
             # Shared-memory path: no buses, no ports (Dimemas' SMP node
             # model) — a plain copy at intra-node latency/bandwidth.
             transfer.start_time = self.loop.now
@@ -135,8 +155,13 @@ class Network:
                 lambda: transfer._fire_arrived(self.loop.now),
             )
             return
-        self._queue.append(transfer)
-        self._try_start()
+        # Fast path: nothing queued ahead and resources free — start
+        # immediately without the FIFO rescan.
+        if not self._queue and self._resources_free(transfer):
+            self._start(transfer)
+        else:
+            self._queue.append(transfer)
+            self._try_start()
 
     # ------------------------------------------------------------------ #
     def _resources_free(self, t: Transfer) -> bool:
@@ -153,12 +178,13 @@ class Network:
         transfer only jumps ahead when it needs *different* ports (the
         bus pool being shared, bus exhaustion blocks everyone).
         """
+        queue = self._queue
         started_any = True
-        while started_any:
+        while started_any and queue:
             started_any = False
-            for i, t in enumerate(self._queue):
+            for i, t in enumerate(queue):
                 if self._resources_free(t):
-                    del self._queue[i]
+                    del queue[i]
                     self._start(t)
                     started_any = True
                     break
@@ -167,18 +193,25 @@ class Network:
         self._free_buses -= 1
         self._free_out[t.src] -= 1
         self._free_in[t.dst] -= 1
-        self._active += 1
-        self.peak_active = max(self.peak_active, self._active)
-        t.start_time = self.loop.now
-        occupancy = self.cfg.transfer_seconds(t.size)
+        active = self._active + 1
+        self._active = active
+        if active > self.peak_active:
+            self.peak_active = active
+        loop = self.loop
+        t.start_time = loop.now
+        # Same arithmetic as cfg.transfer_seconds, minus the property
+        # chase — this runs once per started transfer.
+        occupancy = t.size / self._bandwidth
         self.busy_seconds += occupancy
-        self.loop.after(occupancy, lambda: self._finish_injection(t))
+        loop.at(loop.now + occupancy, lambda: self._finish_injection(t))
 
     def _finish_injection(self, t: Transfer) -> None:
         self._free_buses += 1
         self._free_out[t.src] += 1
         self._free_in[t.dst] += 1
         self._active -= 1
-        t._fire_injected(self.loop.now)
-        self.loop.after(self.cfg.latency, lambda: t._fire_arrived(self.loop.now))
-        self._try_start()
+        loop = self.loop
+        t._fire_injected(loop.now)
+        loop.at(loop.now + self._latency, lambda: t._fire_arrived(loop.now))
+        if self._queue:
+            self._try_start()

@@ -260,30 +260,38 @@ def _find_cycle(edges: dict[int, tuple[int, ...]]) -> list[int]:
 
 
 def _blocked_op(runner, sim) -> BlockedOp:
-    """Describe what one unfinished rank is stuck on."""
+    """Describe what one unfinished rank is stuck on.
+
+    Reads the packed columns of the simulation's replay plan (see
+    :mod:`repro.trace.columnar`) — the record objects no longer exist
+    at replay time.
+    """
+    from ..trace.columnar import OP_NAMES
+
     rank = runner.rank
-    records = runner.records
-    if runner.idx >= len(records):
+    idx = runner.idx
+    plan = sim.plan
+    rc = plan.col.ranks[rank]
+    if idx >= rc.n:
         return BlockedOp(
             rank=rank, op="end", record_index=None, state=runner._block_label,
             detail="ran past the last record without finishing",
         )
-    rec = records[runner.idx]
-    kind = type(rec).__name__
-    peer = getattr(rec, "peer", None)
-    tag = getattr(rec, "tag", None)
-    size = getattr(rec, "size", None)
+    kind = OP_NAMES[rc.op[idx]]
+    peer = tag = size = None
+    if kind in ("Send", "ISend", "Recv", "IRecv"):
+        peer, tag, size = rc.peer[idx], rc.tag[idx], rc.size[idx]
     waiting: list[int] = []
     detail = ""
 
     if kind in ("Send", "ISend"):
-        tr = sim.send_at.get((rank, runner.idx))
+        tr = sim.send_tr[rank][idx]
         if tr is None:
             detail = "unmatched send (no receive pairs with it)"
         elif peer is not None:
             waiting.append(peer)
     elif kind in ("Recv", "IRecv"):
-        tr = sim.recv_at.get((rank, runner.idx))
+        tr = sim.recv_tr[rank][idx]
         if tr is None:
             detail = "unmatched receive (no send pairs with it)"
         elif peer is not None:
@@ -291,7 +299,7 @@ def _blocked_op(runner, sim) -> BlockedOp:
     elif kind == "Wait":
         pend_peers = []
         missing = []
-        for req in rec.requests:
+        for req in plan.waits[rank][idx]:
             entry = sim.req_map.get((rank, req))
             if entry is None:
                 missing.append(req)
@@ -304,6 +312,7 @@ def _blocked_op(runner, sim) -> BlockedOp:
         if missing:
             detail = f"request(s) {missing[:8]} were never posted"
     elif kind == "GlobalOp":
+        rec = plan.colls[rank][idx]
         group = sim.coll._groups.get((rec.context, rec.seq), [])
         entered = {r.rank for r, _, _ in group}
         waiting.extend(
@@ -313,7 +322,7 @@ def _blocked_op(runner, sim) -> BlockedOp:
         detail = f"collective {rec.op.value} seq={rec.seq}"
 
     return BlockedOp(
-        rank=rank, op=kind, record_index=runner.idx, peer=peer, tag=tag,
+        rank=rank, op=kind, record_index=idx, peer=peer, tag=tag,
         size=size, state=runner._block_label,
         waiting_on=tuple(dict.fromkeys(waiting)), detail=detail,
     )

@@ -29,7 +29,7 @@ Each rank replays its record stream sequentially on a private clock:
 * ``Event`` — timestamps a user event.
 
 Matching is resolved *statically* with
-:func:`repro.core.matching.match_messages` (MPI posting-order
+:func:`repro.core.matching.match_columnar` (MPI posting-order
 semantics), so replay, runtime, and transformation always agree on
 message pairings.  The network applies the linear cost model with
 finite buses and ports (:mod:`repro.dimemas.network`).
@@ -43,36 +43,42 @@ Hot path
 
 Replaying is the inner loop of every experiment (a single bandwidth
 bisection issues ~60 replays of the same trace), so the per-trace
-preprocessing is factored into a cached :class:`_ReplayPlan`: message
-matching runs once per trace object (not per replay), every record is
-tagged with a small integer opcode once (so the dispatch loop compares
-ints instead of walking an ``isinstance`` chain), and runs of adjacent
-``CpuBurst`` records are coalesced up front.
+preprocessing is factored into a cached :class:`_ReplayPlan` built on
+the packed columnar form (:mod:`repro.trace.columnar`): message
+matching and burst coalescing run once per trace *content*, and the
+dispatch loop walks plain int/float lists instead of record objects.
+Plans are keyed by the trace's **content digest** in a bounded LRU, so
+a trace loaded from a cache (a different object with identical bytes)
+reuses the existing plan instead of re-matching from scratch.
+
+:func:`simulate` accepts either a :class:`~repro.trace.records.TraceSet`
+or a :class:`~repro.trace.columnar.ColumnarTrace` — workers fed the
+compact encoding replay it directly, no record objects ever built —
+and both paths produce bitwise-identical results.
 """
 
 from __future__ import annotations
 
 import time
-import weakref
+from collections import OrderedDict
 from typing import Callable
 
 from ..obs import get_registry, is_enabled as _obs_enabled, span as _span
-from ..core.matching import (
-    UnmatchedMessageError,
-    match_messages_cached,
-    match_messages_lenient,
+from ..core.matching import match_columnar
+from ..trace.columnar import (
+    OP_COLL as _OP_COLL,
+    OP_CPU as _OP_CPU,
+    OP_EVENT as _OP_EVENT,
+    OP_IRECV as _OP_IRECV,
+    OP_ISEND as _OP_ISEND,
+    OP_RECV as _OP_RECV,
+    OP_SEND as _OP_SEND,
+    OP_WAIT as _OP_WAIT,
+    ColumnarTrace,
+    RankColumns,
+    columnar_of,
 )
-from ..trace.records import (
-    CpuBurst,
-    Event,
-    GlobalOp,
-    IRecv,
-    ISend,
-    Recv,
-    Send,
-    TraceSet,
-    Wait,
-)
+from ..trace.records import CollOp, GlobalOp, TraceSet
 from .collectives import collective_cost
 from .engine import EventLoop, WatchdogExpired
 from .machine import MachineConfig
@@ -89,28 +95,6 @@ __all__ = ["DeadlockError", "ReplayError", "SimulationTimeout", "simulate"]
 
 _EPS = 1e-15
 
-#: Opcodes of the precompiled dispatch (assigned once per trace).
-_OP_CPU = 0
-_OP_EVENT = 1
-_OP_SEND = 2
-_OP_ISEND = 3
-_OP_RECV = 4
-_OP_IRECV = 5
-_OP_WAIT = 6
-_OP_COLL = 7
-_OP_UNKNOWN = 8
-
-_OPCODE_OF: dict[type, int] = {
-    CpuBurst: _OP_CPU,
-    Event: _OP_EVENT,
-    Send: _OP_SEND,
-    ISend: _OP_ISEND,
-    Recv: _OP_RECV,
-    IRecv: _OP_IRECV,
-    Wait: _OP_WAIT,
-    GlobalOp: _OP_COLL,
-}
-
 
 class _CollectiveSync:
     """Barrier-style coordination of analytic GlobalOp records."""
@@ -119,7 +103,7 @@ class _CollectiveSync:
         self.nranks = nranks
         self.cfg = cfg
         self.loop = loop
-        self._groups: dict[int, list] = {}
+        self._groups: dict[tuple, list] = {}
         #: Collectives fully synchronized (observability).
         self.completed = 0
 
@@ -151,11 +135,28 @@ def _make_resume(runner: "_RankRunner", t: float) -> Callable[[], None]:
 class _RankRunner:
     """Sequential replay cursor of one rank."""
 
+    __slots__ = (
+        "sim", "rank", "ops", "durs", "events_at", "waits_at", "colls_at",
+        "sizes", "rvs", "send_tr", "recv_tr", "n",
+        "idx", "now", "finished", "states", "events",
+        "_block_label", "_block_start",
+    )
+
     def __init__(self, sim: "_Simulation", rank: int):
         self.sim = sim
         self.rank = rank
-        self.records = sim.trace[rank].records
-        self.ops = sim.opcodes[rank]
+        plan = sim.plan
+        self.ops = plan.ops[rank]
+        self.durs = plan.durs[rank]
+        self.events_at = plan.events[rank]
+        self.waits_at = plan.waits[rank]
+        self.colls_at = plan.colls[rank]
+        rc = plan.col.ranks[rank]
+        self.sizes = rc.size
+        self.rvs = rc.rv
+        self.send_tr = sim.send_tr[rank]
+        self.recv_tr = sim.recv_tr[rank]
+        self.n = len(self.ops)
         self.idx = 0
         self.now = 0.0
         self.finished = False
@@ -180,7 +181,8 @@ class _RankRunner:
 
     def _resume(self, t: float) -> None:
         """Completion callback: close the blocked state and continue."""
-        t = max(t, self.now)
+        if t < self.now:
+            t = self.now
         if self._block_label is not None:
             self._push_state(self._block_label, self._block_start, t)
             self._block_label = None
@@ -189,32 +191,39 @@ class _RankRunner:
         self.advance()
 
     def blocked_description(self) -> str:
-        rec = self.records[self.idx] if self.idx < len(self.records) else None
+        from ..trace.columnar import OP_NAMES
+        kind = OP_NAMES[self.ops[self.idx]] if self.idx < self.n else "end"
         return (
             f"rank {self.rank} at record {self.idx} "
-            f"({type(rec).__name__ if rec else 'end'}), state={self._block_label}"
+            f"({kind}), state={self._block_label}"
         )
 
     # -- the replay loop ------------------------------------------------------
     def advance(self) -> None:
         sim = self.sim
         loop = sim.loop
-        cfg = sim.cfg
-        records = self.records
+        network_submit = sim.network.submit
+        cpu_ratio = sim.cfg.cpu_ratio
+        eager_threshold = sim.cfg.eager_threshold
         ops = self.ops
-        n = len(records)
+        durs = self.durs
+        send_tr = self.send_tr
+        recv_tr = self.recv_tr
+        push_state = self._push_state
+        n = self.n
         while self.idx < n:
             idx = self.idx
             op = ops[idx]
-            rec = records[idx]
             if op == _OP_CPU:
-                dur = rec.duration * cfg.cpu_ratio
-                self._push_state("Running", self.now, self.now + dur)
-                self.now += dur
+                now = self.now
+                dur = durs[idx] * cpu_ratio
+                push_state("Running", now, now + dur)
+                self.now = now + dur
                 self.idx = idx + 1
                 continue
             if op == _OP_EVENT:
-                self.events.append((self.now, rec.name, rec.value))
+                name, value = self.events_at[idx]
+                self.events.append((self.now, name, value))
                 self.idx = idx + 1
                 continue
             # Side-effecting record: only execute once the global clock
@@ -224,17 +233,17 @@ class _RankRunner:
                 return
 
             if op == _OP_SEND or op == _OP_ISEND:
-                tr = sim.send_at.get((self.rank, idx))
+                tr = send_tr[idx]
                 if tr is None:
                     # Unmatched send (malformed trace): no receive will
                     # ever pair with it.  Eager sends complete locally
                     # (buffered, like MPI); a rendezvous Send blocks
                     # forever and the post-mortem names it.  An ISend's
                     # dangling request is caught at its Wait.
+                    rv = self.rvs[idx]
                     rendezvous = (
-                        rec.rendezvous
-                        if rec.rendezvous is not None
-                        else rec.size > cfg.eager_threshold
+                        bool(rv) if rv >= 0
+                        else self.sizes[idx] > eager_threshold
                     )
                     if op == _OP_ISEND or not rendezvous:
                         self.idx = idx + 1
@@ -245,11 +254,11 @@ class _RankRunner:
                 if not tr.rendezvous:
                     # Eager: enqueue the transfer and move on (OS-bypass
                     # NIC — zero sender cost for Send and ISend alike).
-                    sim.network.submit(tr)
+                    network_submit(tr)
                     self.idx = idx + 1
                     continue
                 if tr.recv_post_time is not None:
-                    sim.network.submit(tr)
+                    network_submit(tr)
                 if op == _OP_ISEND:
                     self.idx = idx + 1
                     continue
@@ -258,7 +267,7 @@ class _RankRunner:
                 return
 
             if op == _OP_RECV or op == _OP_IRECV:
-                tr = sim.recv_at.get((self.rank, idx))
+                tr = recv_tr[idx]
                 if tr is None:
                     # Unmatched receive: nothing will ever arrive.  An
                     # IRecv's dangling request is caught at its Wait; a
@@ -270,7 +279,7 @@ class _RankRunner:
                     return
                 tr.recv_post_time = self.now
                 if tr.rendezvous and tr.send_time is not None and tr.ready_time is None:
-                    sim.network.submit(tr)
+                    network_submit(tr)
                 if op == _OP_IRECV:
                     self.idx = idx + 1
                     continue
@@ -289,8 +298,10 @@ class _RankRunner:
                 pend: list[Transfer] = []
                 latest = self.now
                 dangling = False
-                for req in rec.requests:
-                    entry = sim.req_map.get((self.rank, req))
+                req_map = sim.req_map
+                rank = self.rank
+                for req in self.waits_at[idx]:
+                    entry = req_map.get((rank, req))
                     if entry is None:
                         # Request belongs to an unmatched ISend/IRecv
                         # (or was never posted): it can never complete.
@@ -328,133 +339,261 @@ class _RankRunner:
 
             if op == _OP_COLL:
                 self._block("Group communication")
-                sim.coll.enter(self, rec)
+                sim.coll.enter(self, self.colls_at[idx])
                 return
 
             raise ReplayError(
-                f"rank {self.rank}: cannot replay record type "
-                f"{type(rec).__name__} at index {idx}"
+                f"rank {self.rank}: cannot replay opcode {op} at index {idx}"
             )
         if not self.finished:
             self.finished = True
 
 
-def _coalesce_for_replay(trace: TraceSet) -> TraceSet:
-    """Trace with maximal CpuBursts (copy only when needed).
+def _coalesce_columnar(col: ColumnarTrace) -> ColumnarTrace:
+    """Columns with maximal CpuBursts (copy only when needed).
 
     Build-time coalescing (:meth:`ProcessTrace.append_coalesced`) keeps
     tracer output burst-maximal, but transformed traces can reacquire
     adjacency (e.g. a Wait dropped between two burst pieces).  Scans
-    first so the common already-coalesced case costs no copy.
+    first so the common already-coalesced case costs no copy; rank
+    blocks without adjacent bursts are shared with the input.
     """
-    for proc in trace:
+    needs_work = False
+    for rc in col.ranks:
+        op = rc.op
         prev_cpu = False
-        for rec in proc.records:
-            is_cpu = type(rec) is CpuBurst
+        for i in range(rc.n):
+            is_cpu = op[i] == _OP_CPU
             if is_cpu and prev_cpu:
-                from ..trace.filters import merge_bursts
-                return merge_bursts(trace)
+                needs_work = True
+                break
             prev_cpu = is_cpu
-    return trace
+        if needs_work:
+            break
+    if not needs_work:
+        return col
+
+    ranks = []
+    for rc in col.ranks:
+        op = rc.op
+        merged = RankColumns()
+        cols_in = [rc.instr, rc.peer, rc.tag, rc.size, rc.channel, rc.sub,
+                   rc.elements, rc.context, rc.req, rc.aux]
+        cols_out = [merged.instr, merged.peer, merged.tag, merged.size,
+                    merged.channel, merged.sub, merged.elements,
+                    merged.context, merged.req, merged.aux]
+        i = 0
+        n = rc.n
+        while i < n:
+            if op[i] == _OP_CPU and i + 1 < n and op[i + 1] == _OP_CPU:
+                dur = rc.dur[i]
+                instr = rc.instr[i]
+                j = i + 1
+                while j < n and op[j] == _OP_CPU:
+                    dur += rc.dur[j]
+                    nxt = rc.instr[j]
+                    instr = instr + nxt if instr >= 0 and nxt >= 0 else -1
+                    j += 1
+                merged.op.append(_OP_CPU)
+                merged.rv.append(-1)
+                merged.dur.append(dur)
+                merged.instr.append(instr)
+                for k in range(1, 10):
+                    cols_out[k].append(cols_in[k][i])
+                i = j
+            else:
+                merged.op.append(op[i])
+                merged.rv.append(rc.rv[i])
+                merged.dur.append(rc.dur[i])
+                for k in range(10):
+                    cols_out[k].append(cols_in[k][i])
+                i += 1
+        merged.n = len(merged.op)
+        # Side tables are index-stable (only CpuBursts merge, and they
+        # reference none); aux values still point at the right entries.
+        merged.waits = rc.waits
+        merged.events = rc.events
+        merged.colls = rc.colls
+        ranks.append(merged)
+    return ColumnarTrace(ranks, col.names, col.collops, meta=col.meta)
 
 
 class _ReplayPlan:
-    """Platform-independent per-trace precomputation.
+    """Platform-independent per-trace-content precomputation.
 
-    Computed once per :class:`TraceSet` object and shared by every
-    subsequent :func:`simulate` call on it: the coalesced record
-    streams, the per-record opcode tags, and the message matching.
-    Everything platform-dependent (transfer protocol, network state)
-    stays in :class:`_Simulation`.
+    Computed once per trace *content* (keyed by columnar digest) and
+    shared by every subsequent :func:`simulate` call on equal bytes:
+    the coalesced columns, per-rank opcode/duration lists for the
+    dispatch loop, side-table lookups for the rare records, and the
+    message matching.  Everything platform-dependent (transfer
+    protocol, network state) stays in :class:`_Simulation`.
     """
 
     __slots__ = (
-        "fingerprint", "trace", "opcodes", "pairs", "unmatched", "__weakref__",
+        "digest", "col", "ops", "durs", "events", "waits", "colls",
+        "pairs", "unmatched", "pair_specs", "_rdv_cache",
     )
 
-    def __init__(self, trace: TraceSet):
-        #: Per-rank record counts of the *source* trace, to invalidate
-        #: the memo when records are appended after the first replay.
-        self.fingerprint = tuple(len(p.records) for p in trace)
-        self.trace = _coalesce_for_replay(trace)
-        self.opcodes = [
-            [_OPCODE_OF.get(type(r), _OP_UNKNOWN) for r in p.records]
-            for p in self.trace
-        ]
+    def __init__(self, col: ColumnarTrace):
+        self.digest = col.digest
+        col = _coalesce_columnar(col)
+        self.col = col
+        #: Plain per-rank lists: the dispatch loop indexes these.
+        self.ops = [list(rc.op) for rc in col.ranks]
+        self.durs = [list(rc.dur) for rc in col.ranks]
+        #: Per-rank side-table lookups keyed by record index.
+        self.events: list[dict[int, tuple[str, int]]] = []
+        self.waits: list[dict[int, tuple[int, ...]]] = []
+        self.colls: list[dict[int, GlobalOp]] = []
+        names = col.names
+        collops = col.collops
+        for rc in col.ranks:
+            ev: dict[int, tuple[str, int]] = {}
+            wt: dict[int, tuple[int, ...]] = {}
+            cl: dict[int, GlobalOp] = {}
+            op = rc.op
+            aux = rc.aux
+            for i in range(rc.n):
+                o = op[i]
+                if o == _OP_WAIT:
+                    wt[i] = rc.waits[aux[i]]
+                elif o == _OP_EVENT:
+                    ni, val = rc.events[aux[i]]
+                    ev[i] = (names[ni], val)
+                elif o == _OP_COLL:
+                    t = rc.colls[aux[i]]
+                    cl[i] = GlobalOp(
+                        op=CollOp(collops[t[0]]), root=t[1], send_size=t[2],
+                        recv_size=t[3], seq=t[4], context=t[5], members=t[6],
+                    )
+            self.events.append(ev)
+            self.waits.append(wt)
+            self.colls.append(cl)
         #: Matching-key descriptions of records no partner pairs with
-        #: (empty for well-formed traces).  Malformed traces take the
-        #: lenient path so the replay can diagnose the resulting stall
-        #: instead of aborting before it starts.
-        self.unmatched: list[str] = []
-        try:
-            self.pairs = match_messages_cached(self.trace)
-        except UnmatchedMessageError:
-            self.pairs, self.unmatched = match_messages_lenient(self.trace)
+        #: (empty for well-formed traces).  Malformed traces keep their
+        #: pairs so the replay can diagnose the resulting stall instead
+        #: of aborting before it starts.
+        self.pairs, self.unmatched = match_columnar(col)
+        #: Flattened pair prototypes for :class:`_Simulation`: one
+        #: tuple ``(src, dst, si, ri, size, tag, rv, send_req,
+        #: recv_req)`` per matched message, with the request ids
+        #: pre-resolved (None unless the endpoint is ISend/IRecv).
+        #: The per-platform init loop then touches no columns at all.
+        specs = []
+        ranks = col.ranks
+        for pair in self.pairs:
+            src, dst = pair.src, pair.dst
+            si, ri = pair.send_index, pair.recv_index
+            src_rc, dst_rc = ranks[src], ranks[dst]
+            specs.append((
+                src, dst, si, ri, pair.size, pair.tag, src_rc.rv[si],
+                src_rc.req[si] if src_rc.op[si] == _OP_ISEND else None,
+                dst_rc.req[ri] if dst_rc.op[ri] == _OP_IRECV else None,
+            ))
+        self.pair_specs = specs
+        #: Per-eager-threshold rendezvous flags (one bool per pair).
+        #: A campaign sweeps bandwidth/latency far more often than the
+        #: eager threshold, so this usually holds a single entry.
+        self._rdv_cache: dict[float, list[bool]] = {}
+
+    def rendezvous_flags(self, eager_threshold: float) -> list[bool]:
+        """Protocol choice per matched pair under ``eager_threshold``."""
+        flags = self._rdv_cache.get(eager_threshold)
+        if flags is None:
+            flags = [
+                bool(rv) if rv >= 0 else size > eager_threshold
+                for (_s, _d, _si, _ri, size, _tag, rv, _sq, _rq)
+                in self.pair_specs
+            ]
+            if len(self._rdv_cache) >= 8:
+                self._rdv_cache.clear()
+            self._rdv_cache[eager_threshold] = flags
+        return flags
 
 
-_plan_cache: "weakref.WeakKeyDictionary[TraceSet, _ReplayPlan]" = (
-    weakref.WeakKeyDictionary()
-)
+#: Content-digest-keyed plan LRU.  Bounded: an experiment campaign
+#: cycles through a handful of (app, variant) traces, but a long-lived
+#: worker process may see many more over its lifetime.
+_plan_lru: "OrderedDict[str, _ReplayPlan]" = OrderedDict()
+_PLAN_LRU_MAX = 64
 
 
-def _plan_for(trace: TraceSet) -> _ReplayPlan:
-    plan = _plan_cache.get(trace)
-    if plan is None or plan.fingerprint != tuple(len(p.records) for p in trace):
-        with _span("replay.plan", nranks=trace.nranks):
-            plan = _ReplayPlan(trace)
-        get_registry().counter("replay.plans_built").inc()
-        _plan_cache[trace] = plan
+def _plan_for(trace: "TraceSet | ColumnarTrace") -> _ReplayPlan:
+    try:
+        col = columnar_of(trace)
+    except TypeError as exc:
+        raise ReplayError(str(exc)) from None
+    digest = col.digest
+    plan = _plan_lru.get(digest)
+    if plan is not None:
+        _plan_lru.move_to_end(digest)
+        return plan
+    with _span("replay.plan", nranks=col.nranks):
+        plan = _ReplayPlan(col)
+    get_registry().counter("replay.plans_built").inc()
+    _plan_lru[digest] = plan
+    while len(_plan_lru) > _PLAN_LRU_MAX:
+        _plan_lru.popitem(last=False)
     return plan
 
 
 class _Simulation:
     """Shared replay state: loop, network, transfers, runners."""
 
-    def __init__(self, trace: TraceSet, cfg: MachineConfig):
+    def __init__(self, trace: "TraceSet | ColumnarTrace", cfg: MachineConfig):
         plan = _plan_for(trace)
-        self.trace = plan.trace
-        self.opcodes = plan.opcodes
+        self.plan = plan
+        col = plan.col
+        self.nranks = col.nranks
         self.unmatched = plan.unmatched
         self.cfg = cfg
         self.loop = EventLoop()
-        self.network = Network(self.loop, self.trace.nranks, cfg)
-        self.coll = _CollectiveSync(self.trace.nranks, cfg, self.loop)
+        self.network = Network(self.loop, col.nranks, cfg)
+        self.coll = _CollectiveSync(col.nranks, cfg, self.loop)
 
-        self.send_at: dict[tuple[int, int], Transfer] = {}
-        self.recv_at: dict[tuple[int, int], Transfer] = {}
-        self.req_map: dict[tuple[int, int], tuple[str, Transfer]] = {}
-        self.transfers: list[Transfer] = []
+        #: Per-rank, per-record-index transfer slots (None = unmatched
+        #: or not a point-to-point record).  Flat list indexing here is
+        #: the hottest lookup of the replay loop.
+        self.send_tr: list[list[Transfer | None]] = [
+            [None] * rc.n for rc in col.ranks
+        ]
+        self.recv_tr: list[list[Transfer | None]] = [
+            [None] * rc.n for rc in col.ranks
+        ]
+        req_map: dict[tuple[int, int], tuple[str, Transfer]] = {}
+        self.req_map = req_map
+        transfers: list[Transfer] = []
+        self.transfers = transfers
 
-        for pair in plan.pairs:
-            srec = self.trace[pair.src].records[pair.send_index]
-            rrec = self.trace[pair.dst].records[pair.recv_index]
-            rendezvous = (
-                srec.rendezvous
-                if srec.rendezvous is not None
-                else srec.size > cfg.eager_threshold
-            )
-            tr = Transfer(
-                src=pair.src, dst=pair.dst, size=pair.size,
-                tag=pair.tag, rendezvous=rendezvous,
-            )
-            self.transfers.append(tr)
-            self.send_at[(pair.src, pair.send_index)] = tr
-            self.recv_at[(pair.dst, pair.recv_index)] = tr
-            if isinstance(srec, ISend):
-                self.req_map[(pair.src, srec.request)] = ("send", tr)
-            if isinstance(rrec, IRecv):
-                self.req_map[(pair.dst, rrec.request)] = ("recv", tr)
+        send_tr = self.send_tr
+        recv_tr = self.recv_tr
+        append = transfers.append
+        rdv = plan.rendezvous_flags(cfg.eager_threshold)
+        for spec, rendezvous in zip(plan.pair_specs, rdv):
+            src, dst, si, ri, size, tag, _rv, sreq, rreq = spec
+            tr = Transfer(src, dst, size, tag, rendezvous)
+            append(tr)
+            send_tr[src][si] = tr
+            recv_tr[dst][ri] = tr
+            if sreq is not None:
+                req_map[(src, sreq)] = ("send", tr)
+            if rreq is not None:
+                req_map[(dst, rreq)] = ("recv", tr)
 
-        self.runners = [_RankRunner(self, r) for r in range(self.trace.nranks)]
+        self.runners = [_RankRunner(self, r) for r in range(col.nranks)]
 
 
 def simulate(
-    trace: TraceSet,
+    trace: "TraceSet | ColumnarTrace",
     machine: MachineConfig | None = None,
     max_events: int | None = None,
     max_sim_time: float | None = None,
 ) -> SimResult:
     """Replay ``trace`` on ``machine`` and reconstruct its timeline.
+
+    ``trace`` may be a record-object :class:`TraceSet` or a packed
+    :class:`~repro.trace.columnar.ColumnarTrace`; the two forms replay
+    bitwise-identically (the object form is packed into columns first).
 
     Raises :class:`~repro.dimemas.postmortem.DeadlockError` (a
     :class:`ReplayError`) when the replay stalls — e.g. a rendezvous
@@ -486,7 +625,7 @@ def simulate(
                 metrics.histogram("replay.queue_depth").observe
             )
         try:
-            with _span("replay.drain_queue", nranks=trace.nranks):
+            with _span("replay.drain_queue", nranks=sim.nranks):
                 sim.loop.run(max_events=budget_events, max_time=budget_time)
         except WatchdogExpired as w:
             metrics.counter("replay.watchdog_expired").inc()
@@ -498,20 +637,23 @@ def simulate(
             metrics.counter("replay.deadlocks").inc()
             raise DeadlockError(build_report(sim, sim.unmatched))
 
-        messages = sorted(
-            (
-                MessageFlight(
-                    src=t.src, dst=t.dst,
-                    t_send=t.send_time, t_start=t.start_time,
-                    t_recv=t.arrival_time, size=t.size, tag=t.tag,
-                )
-                for t in sim.transfers
-                if t.arrival_time is not None and t.send_time is not None
-            ),
-            key=lambda m: (m.t_send, m.src, m.dst),
-        )
+        # Sort raw tuples (native comparison), then build the flights in
+        # final order — cheaper than sorting dataclasses through a key
+        # lambda.  The enumeration index reproduces the stable-sort tie
+        # order on equal (t_send, src, dst).
+        raw = [
+            (t.send_time, t.src, t.dst, i, t.start_time, t.arrival_time,
+             t.size, t.tag)
+            for i, t in enumerate(sim.transfers)
+            if t.arrival_time is not None and t.send_time is not None
+        ]
+        raw.sort()
+        messages = [
+            MessageFlight(src, dst, t_send, t_start, t_recv, size, tag)
+            for (t_send, src, dst, _i, t_start, t_recv, size, tag) in raw
+        ]
         result = SimResult(
-            nranks=trace.nranks,
+            nranks=sim.nranks,
             duration=max((r.now for r in sim.runners), default=0.0),
             rank_end=[r.now for r in sim.runners],
             states=[r.states for r in sim.runners],

@@ -2,16 +2,24 @@
 
 Tracing a 64-rank application takes seconds and the evaluation replays
 the same three traces dozens of times (every bandwidth-bisection step,
-every bus count).  Two content-addressed directory caches make both
+every bus count).  Three content-addressed directory caches make both
 costs one-time:
 
-* :class:`TraceCache` persists original traces as ``.dim`` files keyed
-  by a content hash of (application, parameters, scale, tracer
-  settings, package version);
+* :class:`TraceCache` persists original traces as packed columnar
+  ``.rct`` files (:mod:`repro.trace.columnar`) keyed by a content hash
+  of (application, parameters, scale, tracer settings, package
+  version);
+* :class:`TraceStore` is the digest-addressed twin used by the
+  parallel engine's zero-copy dispatch: the parent publishes each
+  trace's compact encoding once, and every worker decodes it straight
+  into the replay plan — no record objects, no re-serialization;
 * :class:`SimResultCache` persists replay results as ``.json`` files
   keyed by a content hash of the *trace itself* plus the full
   :class:`~repro.dimemas.machine.MachineConfig`, so a repeated grid
-  point is free across processes and sessions.
+  point is free across processes and sessions.  Each result also
+  publishes a one-line ``.dur`` sidecar carrying just the simulated
+  makespan, so duration-only consumers (bandwidth bisection, sweeps)
+  answer warm hits without parsing the full result envelope.
 
 Both caches publish atomically (write to a per-process unique temp
 name, then :meth:`~pathlib.Path.replace`), so concurrent workers of the
@@ -48,7 +56,8 @@ import json
 import logging
 import os
 import shutil
-import weakref
+import threading
+from collections import OrderedDict
 from dataclasses import asdict
 from pathlib import Path
 from typing import Callable
@@ -57,12 +66,18 @@ from .. import __version__
 from ..dimemas.machine import MachineConfig
 from ..dimemas.results import SimResult
 from ..obs import get_registry, span as _span
-from ..trace import dim
+from ..trace.columnar import (
+    ColumnarFormatError,
+    ColumnarTrace,
+    columnar_of,
+    decode as _columnar_decode,
+    from_traceset as _columnar_from_traceset,
+)
 from ..trace.records import TraceSet
 
 __all__ = [
-    "SimResultCache", "TraceCache", "content_key", "disk_low",
-    "free_disk_bytes", "min_free_bytes", "sweep_cache_dir",
+    "SimResultCache", "TraceCache", "TraceStore", "content_key",
+    "disk_low", "free_disk_bytes", "min_free_bytes", "sweep_cache_dir",
     "trace_digest",
 ]
 
@@ -109,10 +124,6 @@ def disk_low(path: str | Path, floor: int | None = None) -> bool:
 #: entry written by earlier code instead of misreading it.
 SCHEMA_VERSION = 1
 
-#: Trailer marking a checksummed ``.dim`` cache entry.  The trace
-#: parser skips ``#`` comment lines, so the trailer is invisible to it.
-_DIM_TRAILER = "#CACHE:v={version};sha256={digest}"
-
 
 def content_key(**fields) -> str:
     """Stable hash of describing fields (JSON-canonicalized, versioned)."""
@@ -148,16 +159,27 @@ def _writer_token() -> str:
     return f"{pid}-{_proc_start_ticks(pid) or 0}"
 
 
-def _stage_and_publish(path: Path, text: str) -> None:
-    """Atomically publish ``text`` at ``path``.
+#: Per-process staging serial: two publisher threads of the same
+#: process writing the same entry must not share a staging file, or
+#: one thread's rename deletes the file out from under the other.
+_stage_seq = itertools.count()
+
+
+def _stage_and_publish(path: Path, data: str | bytes) -> None:
+    """Atomically publish ``data`` (text or bytes) at ``path``.
 
     The staging name embeds the writer identity (PID + process start
-    time) so concurrent writers in different processes never clobber
-    each other's half-written file; the final rename is atomic within a
+    time) plus a per-process serial, so concurrent writers — in other
+    processes *or* other threads of this one — never clobber each
+    other's half-written file; the final rename is atomic within a
     filesystem.
     """
-    tmp = path.with_name(f"{path.name}.{_writer_token()}.tmp")
-    tmp.write_text(text)
+    tmp = path.with_name(
+        f"{path.name}.{_writer_token()}-{next(_stage_seq)}.tmp")
+    if isinstance(data, bytes):
+        tmp.write_bytes(data)
+    else:
+        tmp.write_text(data)
     tmp.replace(path)
 
 
@@ -175,11 +197,13 @@ def _writer_alive(token: str) -> bool:
     """Whether the writer that owns a staging token is still running.
 
     Tokens are ``<pid>`` (legacy, liveness check only) or
-    ``<pid>-<start-ticks>`` — for the latter, a live process that does
-    not match the recorded start time is a PID recycle, and the token's
-    file is an orphan despite the "alive" PID.
+    ``<pid>-<start-ticks>[-<serial>]`` — a live process that does not
+    match the recorded start time is a PID recycle, and the token's
+    file is an orphan despite the "alive" PID.  The staging serial, if
+    any, carries no identity and is ignored.
     """
-    pid_part, sep, ticks_part = token.partition("-")
+    pid_part, sep, rest = token.partition("-")
+    ticks_part = rest.partition("-")[0]
     if not pid_part.isdigit():
         return False
     pid = int(pid_part)
@@ -227,12 +251,15 @@ def sweep_cache_dir(cache_dir: str | Path) -> int:
     root = Path(cache_dir)
     removed = 0
     own = {str(os.getpid()), _writer_token()}
-    for sub in (root / "traces", root / "replays"):
+    for sub in (root / "traces", root / "replays", root / "dispatch"):
         if not sub.is_dir():
             continue
         for tmp in sub.glob("*.tmp"):
             parts = tmp.name.rsplit(".", 2)  # <entry-name>.<token>.tmp
-            if len(parts) == 3 and parts[1] in own:
+            token = parts[1] if len(parts) == 3 else ""
+            # tokens may carry a trailing staging serial — identity is
+            # the <pid>[-<ticks>] prefix
+            if token in own or token.rsplit("-", 1)[0] in own:
                 try:
                     tmp.unlink()
                     removed += 1
@@ -306,7 +333,7 @@ class _DegradableCache:
         )
         get_registry().counter("cache.degraded").inc()
 
-    def _publish(self, path: Path, text: str) -> bool:
+    def _publish(self, path: Path, data: str | bytes) -> bool:
         """Best-effort atomic publish; False when running in-memory."""
         if self.degraded:
             return False
@@ -314,42 +341,33 @@ class _DegradableCache:
             self._degrade("free disk space below low-water mark")
             return False
         try:
-            _stage_and_publish(path, text)
+            _stage_and_publish(path, data)
         except OSError as exc:
             self._degrade(f"write failed: {exc}")
             return False
         return True
 
 
-#: Per-TraceSet memo of content digests (guarded by record counts, like
-#: the matching memo — appends invalidate, in-place edits do not).
-_digest_cache: "weakref.WeakKeyDictionary[TraceSet, tuple[tuple[int, ...], str]]" = (
-    weakref.WeakKeyDictionary()
-)
+def trace_digest(trace: "TraceSet | ColumnarTrace") -> str:
+    """Stable content hash of a trace (its packed columnar encoding).
 
-
-def trace_digest(trace: TraceSet) -> str:
-    """Stable content hash of a trace (its serialized form).
-
-    Memoized per trace object: one serialization pays for every replay
-    cache lookup against that trace.
+    Memoized per trace object through :func:`columnar_of`: one packing
+    pays for every replay cache lookup against that trace.  The digest
+    is the same one :class:`~repro.trace.columnar.ColumnarTrace`
+    reports, so the result cache, the replay-plan LRU, and the dispatch
+    store all agree on trace identity.
     """
-    fingerprint = tuple(len(p.records) for p in trace)
-    hit = _digest_cache.get(trace)
-    if hit is not None and hit[0] == fingerprint:
-        return hit[1]
-    digest = hashlib.sha256(dim.dumps(trace).encode()).hexdigest()[:24]
-    _digest_cache[trace] = (fingerprint, digest)
-    return digest
+    return columnar_of(trace).digest
 
 
 class TraceCache(_DegradableCache):
-    """A directory of content-addressed ``.dim`` trace files.
+    """A directory of content-addressed ``.rct`` trace files.
 
-    Entries carry a ``#CACHE:v=...;sha256=...`` trailer line (invisible
-    to the trace parser) checksumming the serialized trace; an entry
-    that is truncated, corrupted, unparseable, or from another schema
-    version is quarantined and rebuilt instead of crashing the run.
+    Entries are packed columnar encodings (:mod:`repro.trace.columnar`)
+    whose container carries its own magic, schema version, and payload
+    checksums; an entry that is truncated, corrupted, or from another
+    schema version fails :func:`~repro.trace.columnar.decode` and is
+    quarantined and rebuilt instead of crashing the run.
     """
 
     #: Metric-name prefix of this cache's registry counters.
@@ -364,6 +382,11 @@ class TraceCache(_DegradableCache):
         self.hits = 0
         self.misses = 0
         self.rebuilt = 0
+        #: Traces built but not yet published by a background thread;
+        #: reads consult this first so publication latency is invisible.
+        self._pending: dict[str, TraceSet] = {}
+        self._pending_lock = threading.Lock()
+        self._publishers: list[threading.Thread] = []
 
     def _count(self, what: str) -> None:
         setattr(self, what, getattr(self, what) + 1)
@@ -375,47 +398,31 @@ class TraceCache(_DegradableCache):
         return content_key(**fields)
 
     def path_for(self, key: str) -> Path:
-        return self.directory / f"{key}.dim"
-
-    @staticmethod
-    def _seal(body: str) -> str:
-        if not body.endswith("\n"):
-            body += "\n"
-        digest = hashlib.sha256(body.encode()).hexdigest()
-        trailer = _DIM_TRAILER.format(version=SCHEMA_VERSION, digest=digest)
-        return body + trailer + "\n"
+        return self.directory / f"{key}.rct"
 
     def _verified_load(self, path: Path) -> TraceSet | None:
-        """Parse a sealed entry; None (after quarantine) when unusable."""
+        """Decode an entry; None (after quarantine) when unusable."""
         try:
-            text = path.read_text()
+            data = path.read_bytes()
         except OSError as exc:
             _quarantine(path, f"unreadable: {exc}")
             return None
-        body, nl, trailer = text.rstrip("\n").rpartition("\n")
-        expected = _DIM_TRAILER.format(
-            version=SCHEMA_VERSION,
-            digest=hashlib.sha256((body + nl).encode()).hexdigest(),
-        )
-        if not trailer.startswith("#CACHE:"):
-            _quarantine(path, "no checksum trailer (pre-schema entry)")
-            return None
-        if trailer != expected:
-            _quarantine(path, "checksum/schema mismatch (truncated or corrupt)")
-            return None
         try:
-            return dim.loads(body + nl)
-        except (dim.TraceFormatError, ValueError) as exc:
-            _quarantine(path, f"unparseable: {exc}")
+            return _columnar_decode(data).to_traceset()
+        except ColumnarFormatError as exc:
+            _quarantine(path, f"corrupt columnar entry: {exc}")
             return None
 
     def load_or_build(self, key: str, builder: Callable[[], TraceSet]) -> TraceSet:
         """Return the cached trace for ``key`` or build and store it.
 
-        A bad entry — parse error, checksum mismatch, stale schema — is
-        quarantined and rebuilt; it never propagates to the caller.
+        A bad entry — decode failure, checksum mismatch, stale schema —
+        is quarantined and rebuilt; it never propagates to the caller.
         """
         hit = self._mem.get(key)
+        if hit is None:
+            with self._pending_lock:
+                hit = self._pending.get(key)
         if hit is not None:
             self._count("hits")
             return hit
@@ -429,23 +436,164 @@ class TraceCache(_DegradableCache):
         self._count("misses")
         with _span("cache.trace.build", key=key):
             trace = builder()
-        if not self._publish(path, self._seal(dim.dumps(trace))):
-            self._mem[key] = trace
+        self._publish_async(key, path, trace)
         return trace
+
+    def _publish_async(self, key: str, path: Path, trace: TraceSet) -> None:
+        """Publish in a background thread; the encode of a large trace
+        (profiles dominate: tens of MB for hundreds of KB of records)
+        and its disk write would otherwise sit on the caller's critical
+        path — during parallel dispatch, serially in the parent.  Reads
+        are served from :attr:`_pending` until the file lands, and
+        :meth:`flush` joins stragglers before anything enumerates the
+        directory.  Threads are non-daemon, so process exit (and the
+        interpreter's thread join) always completes a started publish.
+        """
+        if self.degraded:
+            self._mem[key] = trace
+            return
+        with self._pending_lock:
+            self._pending[key] = trace
+            self._publishers = [t for t in self._publishers if t.is_alive()]
+            worker = threading.Thread(
+                target=self._publish_one, args=(key, path, trace),
+                name="trace-cache-publish",
+            )
+            self._publishers.append(worker)
+        worker.start()
+
+    def _publish_one(self, key: str, path: Path, trace: TraceSet) -> None:
+        try:
+            data = _columnar_from_traceset(trace, with_profiles=True).encode()
+            ok = self._publish(path, data)
+        except Exception as exc:  # noqa: BLE001 - must not die silently
+            _log.warning("background trace publish failed for %s: %s",
+                         key, exc)
+            ok = False
+        if not ok:
+            self._mem[key] = trace
+        with self._pending_lock:
+            self._pending.pop(key, None)
+
+    def flush(self) -> None:
+        """Block until every in-flight background publish has landed."""
+        with self._pending_lock:
+            threads = [t for t in self._publishers if t.is_alive()]
+            self._publishers = threads
+        for t in threads:
+            t.join()
 
     def clear(self) -> int:
         """Delete all cached traces; returns how many were removed."""
+        self.flush()
         n = len(self._mem)
         self._mem.clear()
         if self.directory.is_dir():
-            for p in self.directory.glob("*.dim"):
+            for p in self.directory.glob("*.rct"):
                 p.unlink()
                 n += 1
         return n
 
     def __len__(self) -> int:
+        self.flush()
         on_disk = (
-            sum(1 for _ in self.directory.glob("*.dim"))
+            sum(1 for _ in self.directory.glob("*.rct"))
+            if self.directory.is_dir() else 0
+        )
+        return on_disk + len(self._mem)
+
+
+class TraceStore(_DegradableCache):
+    """Digest-addressed store of packed columnar traces.
+
+    The dispatch half of the parallel engine's zero-copy path: the
+    parent :meth:`put`\\ s each distinct trace's encoding exactly once
+    (the name *is* the content digest, so re-publishing is a no-op),
+    and workers :meth:`get` it back as a
+    :class:`~repro.trace.columnar.ColumnarTrace` ready to replay.
+    Decoded traces are held in a small per-process LRU so a worker
+    replaying many platform variations of one trace decodes it once.
+    """
+
+    METRIC_PREFIX = "cache.dispatch"
+
+    #: Decoded-trace LRU bound — a worker typically cycles through a
+    #: handful of (app, variant) traces per campaign.
+    LRU_MAX = 16
+
+    def __init__(self, directory: str | Path):
+        self._init_store(directory)
+        self._lru: "OrderedDict[str, ColumnarTrace]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def _count(self, what: str) -> None:
+        setattr(self, what, getattr(self, what) + 1)
+        get_registry().counter(f"{self.METRIC_PREFIX}.{what}").inc()
+
+    def path_for(self, digest: str) -> Path:
+        return self.directory / f"{digest}.rct"
+
+    def put(self, col: ColumnarTrace) -> str:
+        """Publish a packed trace; returns its digest (the address).
+
+        Idempotent and concurrency-safe: equal content encodes to equal
+        bytes under equal names, so racing writers are harmless.  When
+        the store is degraded the trace is held in memory — only this
+        process can read it back, which callers detect via
+        :attr:`degraded` and fall back to spec-based dispatch.
+        """
+        digest = col.digest
+        if digest in self._lru or digest in self._mem:
+            return digest
+        self._lru[digest] = col
+        while len(self._lru) > self.LRU_MAX:
+            self._lru.popitem(last=False)
+        path = self.path_for(digest)
+        if not path.exists() and not self._publish(path, col.encode()):
+            self._mem[digest] = col
+        return digest
+
+    def get(self, digest: str) -> ColumnarTrace | None:
+        """The stored trace under ``digest``, or None.
+
+        A corrupt entry is quarantined and reported as absent — the
+        caller re-dispatches by spec, so dispatch-store damage costs
+        time, never correctness.
+        """
+        hit = self._lru.get(digest)
+        if hit is None:
+            hit = self._mem.get(digest)
+        if hit is not None:
+            self._lru[digest] = hit
+            self._lru.move_to_end(digest)
+            self._count("hits")
+            return hit
+        path = self.path_for(digest)
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError:
+            self._count("misses")
+            return None
+        except OSError as exc:
+            _quarantine(path, f"unreadable: {exc}")
+            self._count("misses")
+            return None
+        try:
+            col = _columnar_decode(data)
+        except ColumnarFormatError as exc:
+            _quarantine(path, f"corrupt columnar entry: {exc}")
+            self._count("misses")
+            return None
+        self._lru[digest] = col
+        while len(self._lru) > self.LRU_MAX:
+            self._lru.popitem(last=False)
+        self._count("hits")
+        return col
+
+    def __len__(self) -> int:
+        on_disk = (
+            sum(1 for _ in self.directory.glob("*.rct"))
             if self.directory.is_dir() else 0
         )
         return on_disk + len(self._mem)
@@ -504,9 +652,18 @@ class SimResultCache(_DegradableCache):
     def path_for(self, key: str) -> Path:
         return self.directory / f"{key}.json"
 
+    def _dur_path(self, key: str) -> Path:
+        return self.directory / f"{key}.dur"
+
     @staticmethod
     def _canonical(payload: dict) -> str:
         return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    @staticmethod
+    def _dur_line(duration: float) -> str:
+        body = repr(duration)
+        digest = hashlib.sha256(body.encode()).hexdigest()[:16]
+        return f"v={SCHEMA_VERSION};sha256={digest};d={body}\n"
 
     def load(self, key: str) -> SimResult | None:
         """The cached result under ``key``, or None (counts hit/miss).
@@ -560,6 +717,62 @@ class SimResultCache(_DegradableCache):
             json.dumps(envelope, separators=(",", ":")),
         ):
             self._mem[key] = payload
+        else:
+            # Duration sidecar: one line, parsed without touching the
+            # (much larger) result envelope.  Best-effort — a missing
+            # sidecar just costs a full load on the next duration-only
+            # lookup, which heals it.
+            self._publish(self._dur_path(key), self._dur_line(result.duration))
+
+    def load_duration(self, key: str) -> float | None:
+        """The cached makespan under ``key``, or None (counts hit/miss).
+
+        Duration-only consumers (bandwidth bisection, sweep grids) call
+        this instead of :meth:`load`: the one-line ``.dur`` sidecar is
+        ~100x smaller than the result envelope.  Floats round-trip
+        exactly through ``repr``, so the value is bit-identical to
+        ``load(key).duration``.  A malformed sidecar is quarantined and
+        the full entry is consulted (healing the sidecar on success).
+        """
+        held = self._mem.get(key)
+        if held is not None:
+            self._count("hits")
+            return held["duration"]
+        path = self._dur_path(key)
+        try:
+            line = path.read_text()
+        except FileNotFoundError:
+            line = None
+        except OSError as exc:
+            _quarantine(path, f"unreadable duration sidecar: {exc}")
+            line = None
+        if line is not None:
+            fields = dict(
+                part.split("=", 1)
+                for part in line.strip().split(";")
+                if "=" in part
+            )
+            body = fields.get("d")
+            if (
+                fields.get("v") == str(SCHEMA_VERSION)
+                and body is not None
+                and fields.get("sha256")
+                == hashlib.sha256(body.encode()).hexdigest()[:16]
+            ):
+                try:
+                    duration = float(body)
+                except ValueError:
+                    _quarantine(path, f"malformed duration {body[:40]!r}")
+                else:
+                    self._count("hits")
+                    return duration
+            else:
+                _quarantine(path, "duration sidecar checksum/schema mismatch")
+        result = self.load(key)
+        if result is None:
+            return None
+        self._publish(path, self._dur_line(result.duration))
+        return result.duration
 
     def load_or_simulate(
         self,
@@ -633,6 +846,8 @@ class SimResultCache(_DegradableCache):
                 p.unlink()
                 n += 1
             for p in self.directory.glob("*.digest"):
+                p.unlink()
+            for p in self.directory.glob("*.dur"):
                 p.unlink()
         return n
 

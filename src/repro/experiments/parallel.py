@@ -26,10 +26,12 @@ several levels per round with bitwise-identical thresholds.
 
 from __future__ import annotations
 
+import gc
 import itertools
 import logging
 import os
 import signal
+import tempfile
 import threading
 import time
 import traceback as _tb
@@ -40,6 +42,7 @@ from pathlib import Path
 from typing import Callable, Iterable, Mapping, Sequence
 
 from ..dimemas.machine import MachineConfig
+from ..dimemas.replay import simulate
 from ..dimemas.results import SimResult
 from ..obs import (
     collect_worker_payload,
@@ -49,7 +52,7 @@ from ..obs import (
     span as _span,
     worker_config,
 )
-from .cache import SimResultCache, TraceCache
+from .cache import SimResultCache, TraceCache, TraceStore
 from .checkpoint import CampaignInterrupted, CheckpointJournal, point_key
 from .pipeline import AppExperiment
 
@@ -257,14 +260,23 @@ def _resolve_experiment(
     point: GridPoint,
     cache_dir: str | None,
     store: dict,
+    with_trace_cache: bool = True,
 ) -> AppExperiment:
-    """The (process-local) experiment bundle behind a grid point."""
+    """The (process-local) experiment bundle behind a grid point.
+
+    ``with_trace_cache=False`` skips the persistent trace cache: the
+    parent's ship path uses it because the dispatch store already
+    persists the packed columns — also publishing the (much larger,
+    profile-bearing) original trace would put tens of MB of encoding
+    and writing on the dispatch critical path for no campaign benefit.
+    """
     key = point.experiment_key()
     exp = store.get(key)
     if exp is None:
         trace_cache = sim_cache = None
         if cache_dir is not None:
-            trace_cache = TraceCache(Path(cache_dir) / "traces")
+            if with_trace_cache:
+                trace_cache = TraceCache(Path(cache_dir) / "traces")
             sim_cache = SimResultCache(Path(cache_dir) / "replays")
         exp = AppExperiment(
             point.app,
@@ -369,15 +381,46 @@ def _failure_from_payload(point: GridPoint, payload: dict) -> PointFailure:
 
 
 #: Per-worker-process state, set once by the pool initializer.
-_WORKER: dict = {"cache_dir": None, "experiments": {}, "rss_limit_mb": None}
+_WORKER: dict = {
+    "cache_dir": None, "store_dir": None, "experiments": {},
+    "rss_limit_mb": None, "store": None, "sim_cache": None,
+}
 
 
-def _worker_init(cache_dir: str | None, obs_spec: dict | None = None,
+def _worker_init(cache_dir: str | None, store_dir: str | None = None,
+                 obs_spec: dict | None = None,
                  rss_limit_mb: float | None = None) -> None:
-    _WORKER["cache_dir"] = cache_dir
-    _WORKER["experiments"] = {}
-    _WORKER["rss_limit_mb"] = rss_limit_mb
+    # Freeze every object inherited from the parent into the permanent
+    # generation: the cyclic GC's periodic traversals would otherwise
+    # write into the header of each inherited object, copy-on-writing
+    # the parent's entire heap into every forked worker a page at a
+    # time (this grows with parent heap size — long campaigns got
+    # slower with every engine run).  Workers never need to collect
+    # parent-built cycles, so the trade is pure win.
+    gc.freeze()
+    _WORKER.update(
+        cache_dir=cache_dir, store_dir=store_dir, experiments={},
+        rss_limit_mb=rss_limit_mb, store=None, sim_cache=None,
+    )
     configure_worker(obs_spec)
+
+
+def _worker_store() -> TraceStore | None:
+    """This worker's handle on the dispatch store (lazy)."""
+    store = _WORKER.get("store")
+    if store is None and _WORKER.get("store_dir") is not None:
+        store = TraceStore(_WORKER["store_dir"])
+        _WORKER["store"] = store
+    return store
+
+
+def _worker_sim_cache() -> SimResultCache | None:
+    """This worker's handle on the shared result cache (lazy)."""
+    cache = _WORKER.get("sim_cache")
+    if cache is None and _WORKER.get("cache_dir") is not None:
+        cache = SimResultCache(Path(_WORKER["cache_dir"]) / "replays")
+        _WORKER["sim_cache"] = cache
+    return cache
 
 
 def _claim_marker(env_var: str) -> bool:
@@ -407,25 +450,83 @@ def _maybe_fault_for_tests() -> None:
         time.sleep(600.0)
 
 
-def _worker_result(point: GridPoint) -> tuple[SimResult, dict]:
-    """Replay one point; second element is the observability payload.
+def _run_shipped(digest: str, cfg: MachineConfig, mode: str):
+    """Replay a dispatch-store trace on ``cfg`` (the zero-copy path).
 
-    The payload (metric deltas, spans, pid) rides the existing result
-    pickle back to the parent, which merges it into its registry and —
-    when a run is open — the run's event log.  This is how cache
-    hit/miss counters and worker spans survive the process boundary.
+    The worker never sees record objects: a warm point answers from the
+    shared result cache by digest, a cold one decodes the packed trace
+    straight into a replay plan.  A digest the store cannot produce
+    (corruption was quarantined, or the parent's store degraded after
+    dispatch) raises — the parent retries the point by spec.
+    """
+    sim_cache = _worker_sim_cache()
+    key = (
+        SimResultCache.key_for_digest(digest, cfg)
+        if sim_cache is not None else None
+    )
+    if sim_cache is not None:
+        if mode == "duration":
+            dur = sim_cache.load_duration(key)
+            if dur is not None:
+                return dur
+        else:
+            hit = sim_cache.load(key)
+            if hit is not None:
+                return hit
+    store = _worker_store()
+    col = store.get(digest) if store is not None else None
+    if col is None:
+        raise RuntimeError(
+            f"dispatch store cannot produce trace {digest}; "
+            f"point must be re-dispatched by spec"
+        )
+    res = simulate(col, cfg)
+    if sim_cache is not None:
+        sim_cache.store(key, res)
+    return res if mode == "result" else res.duration
+
+
+def _run_task(task: tuple, mode: str):
+    """Execute one dispatched task: ``("ship", digest, cfg)`` replays a
+    pre-published packed trace; ``("spec", point)`` rebuilds everything
+    from the grid-point spec (fallback and retry path)."""
+    if task[0] == "ship":
+        return _run_shipped(task[1], task[2], mode)
+    point = task[1]
+    res = _simulate_point(point, _WORKER["cache_dir"], _WORKER["experiments"])
+    return res if mode == "result" else res.duration
+
+
+def _worker_warmup() -> None:
+    """No-op task whose submission forces the executor to fork its
+    worker processes immediately (see the pre-fork note in
+    ``_map_points``)."""
+    return None
+
+
+def _worker_run_batch(tasks: list[tuple], mode: str) -> tuple[list, dict]:
+    """Run a batch of dispatched tasks; one outcome per task, in order.
+
+    Outcomes are ``("ok", value)`` or ``("err", error, traceback)`` —
+    a failing task never poisons its batch siblings.  The second return
+    element is the observability payload (metric deltas, spans, pid)
+    riding the result pickle back to the parent, which merges it into
+    its registry and — when a run is open — the run's event log.  This
+    is how cache hit/miss counters and worker spans survive the process
+    boundary.
     """
     _maybe_fault_for_tests()
-    _check_rss_budget(_WORKER["rss_limit_mb"])
-    res = _simulate_point(point, _WORKER["cache_dir"], _WORKER["experiments"])
-    return res, collect_worker_payload()
-
-
-def _worker_duration(point: GridPoint) -> tuple[float, dict]:
-    _maybe_fault_for_tests()
-    _check_rss_budget(_WORKER["rss_limit_mb"])
-    res = _simulate_point(point, _WORKER["cache_dir"], _WORKER["experiments"])
-    return res.duration, collect_worker_payload()
+    outcomes: list = []
+    for task in tasks:
+        try:
+            _check_rss_budget(_WORKER["rss_limit_mb"])
+            outcomes.append(("ok", _run_task(task, mode)))
+        except Exception as exc:  # noqa: BLE001 - reported to the parent
+            outcomes.append((
+                "err", f"{type(exc).__name__}: {exc}",
+                "".join(_tb.format_exception(exc)),
+            ))
+    return outcomes, collect_worker_payload()
 
 
 def _absorb_payload(payload: dict | None) -> None:
@@ -459,10 +560,13 @@ class ExperimentEngine:
         same code path, no pool, useful as the deterministic reference.
     cache_dir:
         Directory for the persistent caches (created on demand):
-        ``<cache_dir>/traces`` for :class:`TraceCache` and
-        ``<cache_dir>/replays`` for :class:`SimResultCache`.  Shared by
-        all workers; ``None`` disables persistence (each process still
-        memoizes in memory).
+        ``<cache_dir>/traces`` for :class:`TraceCache`,
+        ``<cache_dir>/replays`` for :class:`SimResultCache`, and
+        ``<cache_dir>/dispatch`` for the zero-copy
+        :class:`~repro.experiments.cache.TraceStore`.  Shared by all
+        workers; ``None`` disables persistence (each process still
+        memoizes in memory, and the dispatch store lives in a temporary
+        directory for the engine's lifetime).
     retry:
         :class:`RetryPolicy` governing worker failures (default: three
         attempts, 50 ms exponential backoff, no per-point timeout).
@@ -521,7 +625,12 @@ class ExperimentEngine:
         #: Points that exhausted their retry budget, by grid point.
         self.quarantine: dict[GridPoint, PointFailure] = {}
         self._experiments: dict = {}
+        #: Ship-path experiment bundles (no trace cache — the dispatch
+        #: store persists the columns; see :meth:`_dispatch_task`).
+        self._dispatch_experiments: dict = {}
         self._pool: ProcessPoolExecutor | None = None
+        self._store: TraceStore | None = None
+        self._store_tmp: tempfile.TemporaryDirectory | None = None
         self._drain = threading.Event()
 
     # -- drain (graceful SIGTERM/SIGINT) -------------------------------------
@@ -601,10 +710,20 @@ class ExperimentEngine:
 
     # -- lifecycle ----------------------------------------------------------
     def close(self) -> None:
-        """Shut down the worker pool (idempotent)."""
+        """Shut down the worker pool and dispatch store (idempotent)."""
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+        for exp in self._experiments.values():
+            if exp.cache is not None:
+                exp.cache.flush()  # land async publishes before teardown
+        self._store = None
+        if self._store_tmp is not None:
+            try:
+                self._store_tmp.cleanup()
+            except OSError:
+                pass
+            self._store_tmp = None
 
     def _discard_pool(self, reason: str) -> None:
         """Tear down a broken or hung pool so the next submit rebuilds it.
@@ -636,31 +755,95 @@ class ExperimentEngine:
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
+            store = self._dispatch_store()
             self._pool = ProcessPoolExecutor(
                 max_workers=self.jobs,
                 initializer=_worker_init,
-                initargs=(self.cache_dir, worker_config(), self.rss_limit_mb),
+                initargs=(self.cache_dir, str(store.directory),
+                          worker_config(), self.rss_limit_mb),
             )
         return self._pool
 
+    # -- dispatch preparation ------------------------------------------------
+    def _dispatch_store(self) -> TraceStore:
+        """The digest-addressed trace store shared with pool workers.
+
+        Lives under ``<cache_dir>/dispatch`` when the engine has a cache
+        directory (doubling as a persistent trace cache); otherwise in a
+        temporary directory torn down by :meth:`close`.
+        """
+        if self._store is None:
+            if self.cache_dir is not None:
+                root = Path(self.cache_dir) / "dispatch"
+            else:
+                self._store_tmp = tempfile.TemporaryDirectory(
+                    prefix="repro-dispatch-"
+                )
+                root = Path(self._store_tmp.name)
+            self._store = TraceStore(root)
+        return self._store
+
+    def _dispatch_task(self, point: GridPoint) -> tuple:
+        """Prepare a point's pool task: ship-by-digest when possible.
+
+        The zero-copy path: resolve (and trace) the experiment once in
+        the parent, publish its packed encoding in the dispatch store,
+        and hand workers just ``(digest, platform)`` — a few dozen bytes
+        instead of a pickled record forest.  Any preparation trouble —
+        unknown app, degraded store — falls back to shipping the spec,
+        where the worker reproduces (and properly attributes) the
+        failure itself.
+        """
+        reg = get_registry()
+        store = self._dispatch_store()
+        if not store.degraded:
+            t0 = time.monotonic()
+            try:
+                # Prefer an experiment somebody already traced (the
+                # bracket-search seed path); otherwise build one without
+                # a trace cache — the dispatch store is the cold path's
+                # persistence, and the original trace's profile payload
+                # is orders of magnitude bigger than the columns.
+                exp = self._experiments.get(point.experiment_key())
+                if exp is None:
+                    exp = _resolve_experiment(
+                        point, self.cache_dir, self._dispatch_experiments,
+                        with_trace_cache=False,
+                    )
+                cfg = exp.platform(
+                    point.bandwidth_mbps, point.buses, point.latency
+                )
+                digest = store.put(exp.columnar(point.variant))
+            except Exception:  # noqa: BLE001 - worker will attribute it
+                pass
+            else:
+                reg.histogram("engine.dispatch.prep_seconds").observe(
+                    time.monotonic() - t0
+                )
+                reg.counter("engine.dispatch.ship_points").inc()
+                return ("ship", digest, cfg)
+        reg.counter("engine.dispatch.spec_points").inc()
+        return ("spec", point)
+
     # -- core scheduling ----------------------------------------------------
-    def _map_points(self, pool_fn: Callable, points: list[GridPoint]) -> list:
-        """Fan ``pool_fn`` over the points via the pool, preserving order.
+    def _map_points(self, points: list[GridPoint], mode: str) -> list:
+        """Fan the points across the pool, preserving input order.
 
         Points answerable without execution are resolved directly in
         the parent — first from the checkpoint journal (the resume
-        path), then from the persistent cache (warm hits) — and only
-        actual misses pay worker dispatch.  The misses are sorted by
-        experiment identity so one worker tends to replay all platform
-        variations of the same trace (per-process experiment reuse);
-        results come back in the input order.
+        path), then from the persistent cache (warm hits; duration mode
+        reads only the one-line sidecar) — and only actual misses pay
+        worker dispatch.  The misses are sorted by experiment identity
+        and grouped into batches, so one worker tends to replay all
+        platform variations of the same trace and per-task pool
+        overhead amortizes across a batch; results come back in the
+        input order.
 
         Worker failures are retried per :attr:`retry`; permanently dead
         points surface per :attr:`degraded` (sentinel or raise).  Every
         completion — warm hits included — is write-ahead journaled when
         a checkpoint is attached.
         """
-        mode = "result" if pool_fn is _worker_result else "duration"
         out: list = [None] * len(points)
         miss: list[int] = []
         for i, p in enumerate(points):
@@ -671,45 +854,85 @@ class ExperimentEngine:
             hit = None
             if self.cache_dir is not None:
                 exp = _resolve_experiment(p, self.cache_dir, self._experiments)
-                hit = exp.cached_result(
-                    p.variant, bandwidth_mbps=p.bandwidth_mbps,
-                    buses=p.buses, latency=p.latency,
-                )
+                if mode == "duration":
+                    hit = exp.cached_duration(
+                        p.variant, bandwidth_mbps=p.bandwidth_mbps,
+                        buses=p.buses, latency=p.latency,
+                    )
+                else:
+                    hit = exp.cached_result(
+                        p.variant, bandwidth_mbps=p.bandwidth_mbps,
+                        buses=p.buses, latency=p.latency,
+                    )
             if hit is not None:
-                out[i] = hit if mode == "result" else hit.duration
-                self._journal_value(p, mode, out[i])
+                out[i] = hit
+                self._journal_value(p, mode, hit)
             else:
                 miss.append(i)
         if not miss:
             return out
         if self._drain.is_set():
             raise self._interrupted(remaining=len(miss))
-        order = sorted(miss, key=lambda i: (repr(points[i].experiment_key()), i))
-        failures: list[PointFailure] = []
-        self._run_resilient(
-            pool_fn, mode, [(i, points[i]) for i in order], out, failures,
+        order = sorted(
+            miss,
+            key=lambda i: (repr(points[i].experiment_key()),
+                           points[i].variant, i),
         )
+        entries = [(i, points[i]) for i in order]
+        # Fork the pool *before* dispatch preparation builds any trace:
+        # workers forked against a small parent heap stay small, while
+        # forking after tracing copies-on-write the whole record forest
+        # (and its profile arrays) into every worker as soon as the GC
+        # touches refcounts.  The warmup task forces the executor to
+        # spawn its processes now rather than lazily at first submit.
+        self._ensure_pool().submit(_worker_warmup)
+        # Batches never straddle a (experiment, variant) group: all
+        # points of one trace digest go to as few workers as the job
+        # budget allows, so each worker decodes the columns and builds
+        # the replay plan for a digest at most once.  Each group is
+        # split across about jobs/ngroups workers (capped batch size
+        # keeps huge groups responsive); distinct experiments never
+        # share a batch, so a poisoned spec cannot waste a sibling
+        # experiment's retry budget.
+        grouped = [
+            list(grp) for _, grp in itertools.groupby(
+                entries,
+                key=lambda e: (repr(e[1].experiment_key()), e[1].variant),
+            )
+        ]
+        per_group = max(1, -(-self.jobs // len(grouped)))
+        batches = []
+        for g in grouped:
+            size = max(1, min(16, -(-len(g) // per_group)))
+            batches.extend(g[j:j + size] for j in range(0, len(g), size))
+        failures: list[PointFailure] = []
+        self._run_resilient(mode, batches, out, failures)
         if failures and not self.degraded:
             raise GridExecutionError(failures)
         return out
 
     def _run_resilient(
         self,
-        pool_fn: Callable,
         mode: str,
-        indexed: list[tuple[int, GridPoint]],
+        batches: list[list[tuple[int, GridPoint]]],
         out: list,
         failures: list[PointFailure],
     ) -> None:
-        """Submit every ``(slot, point)`` as its own future and babysit.
+        """Submit every batch of ``(slot, point)`` entries and babysit.
 
-        Three failure shapes are recovered: a worker *raising* (retry
-        that point), a worker *dying* (``BrokenProcessPool`` poisons
-        every in-flight future — recycle the pool, charge each in-flight
-        point one attempt, resubmit), and a worker *hanging* (per-point
-        wall-clock budget exceeded — same recycle, charge only the
-        expired points).  A point that spends its attempt budget is
-        quarantined; its slot receives a :class:`PointFailure`.
+        First attempts ride the prepared dispatch tasks (ship-by-digest
+        where possible); every retry re-dispatches its point by spec, so
+        even dispatch-store damage can only cost one attempt.  Failures
+        inside a batch are per-entry (a sibling's exception never wastes
+        a finished replay); three whole-batch failure shapes are also
+        recovered: a worker *raising* before task execution (charge and
+        retry each entry), a worker *dying* (``BrokenProcessPool``
+        poisons every in-flight future — recycle the pool, charge each
+        in-flight entry one attempt, resubmit singly), and a worker
+        *hanging* (per-batch wall-clock budget exceeded — same recycle,
+        charge only the expired batches).  A point that spends its
+        attempt budget is quarantined; its slot receives a
+        :class:`PointFailure`.
 
         A drain request (:meth:`request_drain`) is honored at the next
         scheduling step: queued futures are cancelled, running ones are
@@ -718,14 +941,31 @@ class ExperimentEngine:
         """
         retry = self.retry
         reg = get_registry()
-        pending: dict[Future, tuple[int, GridPoint, int, float]] = {}
+        pending: dict[
+            Future, tuple[list[tuple[int, GridPoint]], int, float]
+        ] = {}
         #: Per-slot (kind, seconds, error) of every failed attempt so
         #: far — becomes PointFailure.attempt_history on quarantine.
         history: dict[int, list[tuple[str, float, str]]] = {}
+        #: Per-slot first-attempt task, prepared once at dispatch time.
+        prepared: dict[int, tuple] = {}
 
-        def submit(slot: int, point: GridPoint, attempt: int) -> None:
-            fut = self._ensure_pool().submit(pool_fn, point)
-            pending[fut] = (slot, point, attempt, time.monotonic())
+        def submit(entries: list[tuple[int, GridPoint]], attempt: int) -> None:
+            tasks = [
+                prepared[slot] if attempt == 1 else ("spec", point)
+                for slot, point in entries
+            ]
+            try:
+                fut = self._ensure_pool().submit(_worker_run_batch, tasks, mode)
+            except BrokenProcessPool:
+                # A worker died between submissions (batch preparation
+                # gives it time to): recycle and submit to a fresh pool.
+                # In-flight futures of the dead pool surface their own
+                # crash through the recovery path below.
+                self._discard_pool("broken (worker process died)")
+                fut = self._ensure_pool().submit(_worker_run_batch, tasks, mode)
+            pending[fut] = (entries, attempt, time.monotonic())
+            reg.counter("engine.dispatch.batches").inc()
 
         def settle(slot: int, point: GridPoint, attempt: int,
                    kind: str, error: str, elapsed: float,
@@ -742,7 +982,7 @@ class ExperimentEngine:
                 reg.counter("engine.retries").inc()
                 if delay > 0:
                     time.sleep(delay)
-                submit(slot, point, attempt + 1)
+                submit([(slot, point)], attempt + 1)
                 return
             if attempt < retry.max_attempts:
                 # Draining: don't burn the point's remaining attempts —
@@ -764,19 +1004,22 @@ class ExperimentEngine:
                            attempts=attempt, error=error)
             _log.error("grid point quarantined: %s", failure.describe())
 
-        for slot, point in indexed:
+        for entries in batches:
             if self._drain.is_set():
                 break
-            submit(slot, point, 1)
+            for slot, point in entries:
+                prepared[slot] = self._dispatch_task(point)
+            submit(entries, 1)
 
+        all_slots = [slot for entries in batches for slot, _ in entries]
         while pending:
             if self._drain.is_set():
                 self._drain_inflight(mode, pending, out)
-                remaining = sum(1 for slot, _ in indexed if out[slot] is None)
+                remaining = sum(1 for slot in all_slots if out[slot] is None)
                 raise self._interrupted(remaining=remaining)
             timeout = None
             if retry.point_timeout is not None:
-                oldest = min(t0 for (_, _, _, t0) in pending.values())
+                oldest = min(t0 for (_, _, t0) in pending.values())
                 timeout = max(
                     0.0, oldest + retry.point_timeout - time.monotonic()
                 )
@@ -784,30 +1027,33 @@ class ExperimentEngine:
                 list(pending), timeout=timeout, return_when=FIRST_COMPLETED
             )
             if not done:
-                # A point blew its wall-clock budget: its worker is
-                # stuck, so the pool must go.  Innocent in-flight points
-                # are resubmitted without being charged an attempt.
+                # A batch blew its wall-clock budget: its worker is
+                # stuck, so the pool must go.  Innocent in-flight
+                # batches are resubmitted without being charged an
+                # attempt.
                 now = time.monotonic()
                 states = list(pending.values())
                 pending.clear()
                 self._discard_pool("hung (per-point timeout exceeded)")
-                for slot, point, attempt, t0 in states:
+                for entries, attempt, t0 in states:
                     if now - t0 >= retry.point_timeout:
-                        settle(
-                            slot, point, attempt, "timeout",
-                            f"exceeded {retry.point_timeout:.3g}s wall clock",
-                            now - t0,
-                        )
+                        for slot, point in entries:
+                            settle(
+                                slot, point, attempt, "timeout",
+                                f"exceeded {retry.point_timeout:.3g}s "
+                                f"wall clock",
+                                now - t0,
+                            )
                     else:
-                        submit(slot, point, attempt)
+                        submit(entries, attempt)
                 continue
             for fut in done:
                 if fut not in pending:
                     continue  # cleared by a pool-crash recovery below
-                slot, point, attempt, t0 = pending.pop(fut)
+                entries, attempt, t0 = pending.pop(fut)
                 elapsed = time.monotonic() - t0
                 try:
-                    value, payload = fut.result()
+                    outcomes, payload = fut.result()
                 except BrokenProcessPool as exc:
                     # The dead worker poisons every in-flight future and
                     # the parent cannot tell which point killed it, so
@@ -821,27 +1067,40 @@ class ExperimentEngine:
                     err = f"{type(exc).__name__}: {exc}" if str(exc) else (
                         "worker process died unexpectedly"
                     )
-                    settle(slot, point, attempt, "pool_crash", err, elapsed)
-                    for v_slot, v_point, v_attempt, v_t0 in victims:
-                        settle(v_slot, v_point, v_attempt, "pool_crash", err,
-                               now - v_t0)
+                    for slot, point in entries:
+                        settle(slot, point, attempt, "pool_crash", err,
+                               elapsed)
+                    for v_entries, v_attempt, v_t0 in victims:
+                        for slot, point in v_entries:
+                            settle(slot, point, v_attempt, "pool_crash", err,
+                                   now - v_t0)
                 except Exception as exc:  # noqa: BLE001 - retried/reported
-                    # format_exception includes the _RemoteTraceback the
-                    # pool chains in, i.e. the worker-side stack.
-                    settle(
-                        slot, point, attempt, "exception",
-                        f"{type(exc).__name__}: {exc}", elapsed,
-                        tb="".join(_tb.format_exception(exc)),
-                    )
+                    # A raise before task execution (fault hooks, pickle
+                    # trouble); format_exception includes the
+                    # _RemoteTraceback the pool chains in, i.e. the
+                    # worker-side stack.
+                    err = f"{type(exc).__name__}: {exc}"
+                    tb = "".join(_tb.format_exception(exc))
+                    for slot, point in entries:
+                        settle(slot, point, attempt, "exception", err,
+                               elapsed, tb=tb)
                 else:
-                    out[slot] = value
-                    self._journal_value(point, mode, value)
                     _absorb_payload(payload)
-                    reg.counter("engine.points_executed").inc()
-                    reg.histogram("engine.point_wall_seconds").observe(elapsed)
+                    per_point = elapsed / max(1, len(entries))
+                    for (slot, point), outcome in zip(entries, outcomes):
+                        if outcome[0] == "ok":
+                            out[slot] = outcome[1]
+                            self._journal_value(point, mode, outcome[1])
+                            reg.counter("engine.points_executed").inc()
+                            reg.histogram(
+                                "engine.point_wall_seconds"
+                            ).observe(per_point)
+                        else:
+                            settle(slot, point, attempt, "exception",
+                                   outcome[1], per_point, tb=outcome[2])
 
         if self._drain.is_set():
-            remaining = sum(1 for slot, _ in indexed if out[slot] is None)
+            remaining = sum(1 for slot in all_slots if out[slot] is None)
             if remaining:
                 raise self._interrupted(remaining=remaining)
 
@@ -852,24 +1111,28 @@ class ExperimentEngine:
         futures already executing are awaited so their completions are
         journaled — a drain loses no finished work.
         """
-        running: dict[Future, tuple[int, GridPoint, int, float]] = {}
+        running: dict[
+            Future, tuple[list[tuple[int, GridPoint]], int, float]
+        ] = {}
         for fut, state in list(pending.items()):
             if not fut.cancel():
                 running[fut] = state
         pending.clear()
         reg = get_registry()
-        for fut, (slot, point, _attempt, t0) in running.items():
+        for fut, (entries, _attempt, t0) in running.items():
             try:
-                value, payload = fut.result(timeout=self.retry.point_timeout)
+                outcomes, payload = fut.result(timeout=self.retry.point_timeout)
             except Exception:  # noqa: BLE001 - drained points just re-run
                 continue
-            out[slot] = value
-            self._journal_value(point, mode, value)
             _absorb_payload(payload)
-            reg.counter("engine.points_executed").inc()
-            reg.histogram("engine.point_wall_seconds").observe(
-                time.monotonic() - t0
-            )
+            per_point = (time.monotonic() - t0) / max(1, len(entries))
+            for (slot, point), outcome in zip(entries, outcomes):
+                if outcome[0] != "ok":
+                    continue
+                out[slot] = outcome[1]
+                self._journal_value(point, mode, outcome[1])
+                reg.counter("engine.points_executed").inc()
+                reg.histogram("engine.point_wall_seconds").observe(per_point)
 
     def _run_serial(self, points: list[GridPoint], mode: str) -> list:
         """In-process reference path with the same failure contract."""
@@ -924,7 +1187,7 @@ class ExperimentEngine:
         with _span("engine.run_grid", points=len(points), jobs=self.jobs):
             if self.jobs <= 1 or len(points) <= 1:
                 return self._run_serial(points, "result")
-            return self._map_points(_worker_result, points)
+            return self._map_points(points, "result")
 
     def durations(self, points: Iterable[GridPoint]) -> list[float]:
         """Simulated makespans of every grid point, in input order.
@@ -938,7 +1201,7 @@ class ExperimentEngine:
         with _span("engine.durations", points=len(points), jobs=self.jobs):
             if self.jobs <= 1 or len(points) <= 1:
                 return self._run_serial(points, "duration")
-            return self._map_points(_worker_duration, points)
+            return self._map_points(points, "duration")
 
     # -- experiment interop -------------------------------------------------
     def experiment(self, point: GridPoint) -> AppExperiment:

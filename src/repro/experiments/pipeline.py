@@ -107,11 +107,11 @@ class AppExperiment:
                 )
         return self._traces[variant]
 
-    def _platform(
+    def platform(
         self,
-        bandwidth_mbps: float | None,
-        buses: int | None | str,
-        latency: float | None,
+        bandwidth_mbps: float | None = None,
+        buses: int | None | str = "default",
+        latency: float | None = None,
     ) -> MachineConfig:
         """The baseline machine with the standard experiment overrides."""
         overrides: dict = {}
@@ -122,6 +122,28 @@ class AppExperiment:
         if latency is not None:
             overrides["latency"] = latency
         return self.machine.with_platform(**overrides)
+
+    _platform = platform
+
+    def columnar(self, variant: str = "original"):
+        """The packed columnar form of a variant's trace.
+
+        Feeds the parallel engine's zero-copy dispatch: the parent
+        encodes each trace once and workers replay straight from the
+        columns.  Also publishes the spec->digest index entry so later
+        runs can answer warm hits without building the trace at all.
+        """
+        from ..trace.columnar import columnar_of
+        col = columnar_of(self.trace(variant))
+        spec = self._spec_key(variant)
+        if (
+            spec is not None
+            and self.sim_cache is not None
+            and spec not in self._published_specs
+        ):
+            self.sim_cache.put_digest(spec, col.digest)
+            self._published_specs.add(spec)
+        return col
 
     def simulate(
         self,
@@ -165,20 +187,49 @@ class AppExperiment:
         hit = self._sims.get(key)
         if hit is not None or self.sim_cache is None:
             return hit
-        if variant in self._traces:
-            from .cache import trace_digest
-            digest = trace_digest(self._traces[variant])
-        else:
-            spec = self._spec_key(variant)
-            digest = (
-                self.sim_cache.get_digest(spec) if spec is not None else None
-            )
+        digest = self._known_digest(variant)
         if digest is None:
             return None
         hit = self.sim_cache.load(self.sim_cache.key_for_digest(digest, cfg))
         if hit is not None:
             self._sims[key] = hit
         return hit
+
+    def cached_duration(
+        self,
+        variant: str = "original",
+        bandwidth_mbps: float | None = None,
+        buses: int | None | str = "default",
+        latency: float | None = None,
+    ) -> float | None:
+        """This replay's makespan *if it needs no work*, else None.
+
+        The duration-only sibling of :meth:`cached_result`: a warm hit
+        is one sidecar line instead of the full result envelope, which
+        is what duration-mode grid sweeps actually consume.
+        """
+        cfg = self._platform(bandwidth_mbps, buses, latency)
+        hit = self._sims.get((variant, cfg))
+        if hit is not None:
+            return hit.duration
+        if self.sim_cache is None:
+            return None
+        digest = self._known_digest(variant)
+        if digest is None:
+            return None
+        return self.sim_cache.load_duration(
+            self.sim_cache.key_for_digest(digest, cfg)
+        )
+
+    def _known_digest(self, variant: str) -> str | None:
+        """The variant's trace digest, if knowable without building it."""
+        if variant in self._traces:
+            from .cache import trace_digest
+            return trace_digest(self._traces[variant])
+        spec = self._spec_key(variant)
+        if spec is None or self.sim_cache is None:
+            return None
+        return self.sim_cache.get_digest(spec)
 
     def _spec_key(self, variant: str) -> str | None:
         """Versioned content key of (application spec, variant) — the

@@ -19,12 +19,14 @@ from .records import (
     Wait,
 )
 from .validate import ValidationError, ValidationIssue, ValidationReport, validate
-from . import dim, filters, prv
+from .columnar import ColumnarFormatError, ColumnarTrace, columnar_of
+from . import columnar, dim, filters, prv
 
 __all__ = [
     "AccessProfile", "CHANNEL_APP", "CHANNEL_CHUNK", "CHANNEL_COLLECTIVE",
-    "CollOp", "CpuBurst", "Event", "GlobalOp", "IRecv", "ISend",
+    "CollOp", "ColumnarFormatError", "ColumnarTrace", "CpuBurst", "Event",
+    "GlobalOp", "IRecv", "ISend",
     "ProcessTrace", "Recv", "Record", "Send", "TraceSet", "Wait",
     "ValidationError", "ValidationIssue", "ValidationReport", "validate",
-    "dim", "filters", "prv",
+    "columnar", "columnar_of", "dim", "filters", "prv",
 ]

@@ -43,21 +43,24 @@ class TestTraceCacheHealing:
         cache = TraceCache(tmp_path)
         key = cache.key(app="pipeline", nranks=4)
         cache.load_or_build(key, lambda: trace)
+        cache.flush()  # publication is asynchronous; land it before damage
         return cache, key, cache.path_for(key)
 
     @pytest.mark.parametrize("damage", [
         lambda t: t[: len(t) // 2],              # truncated by a kill
-        lambda t: "!! not a trace !!\n",         # garbage
-        lambda t: t.rsplit("#CACHE:", 1)[0],     # trailer lost (pre-schema)
-        lambda t: t.replace("CACHE:v=1", "CACHE:v=0"),   # stale schema
+        lambda t: b"!! not a trace !!\n",        # garbage
+        lambda t: bytes([t[0] ^ 0x40]) + t[1:],  # magic destroyed
+        lambda t: t[:4] + b"\x63\x00\x00\x00" + t[8:],   # foreign version
+        lambda t: t[:-20] + bytes([t[-20] ^ 1]) + t[-19:],  # bit flip
     ])
     def test_bad_entry_quarantined_and_rebuilt(self, tmp_path, trace, damage):
         cache, key, path = self.seed(tmp_path, trace)
         good = dim.dumps(trace)
-        path.write_text(damage(path.read_text()))
+        path.write_bytes(damage(path.read_bytes()))
 
         fresh = TraceCache(tmp_path)
         rebuilt = fresh.load_or_build(key, lambda: trace)
+        fresh.flush()
         assert dim.dumps(rebuilt) == good
         assert fresh.rebuilt == 1 and fresh.misses == 1
         assert len(quarantined(tmp_path)) == 1
@@ -71,6 +74,7 @@ class TestTraceCacheHealing:
         for _ in range(3):
             path.write_text("garbage\n")
             cache.load_or_build(key, lambda: trace)
+            cache.flush()
         # three distinct corpses, none clobbered
         assert len(quarantined(tmp_path)) == 3
 
@@ -172,6 +176,7 @@ class TestConcurrentHealing:
         cache = TraceCache(tmp_path)
         key = cache.key(app="pipeline", nranks=4)
         cache.load_or_build(key, lambda: trace)
+        cache.flush()
         cache.path_for(key).write_text("corrupted beyond repair\n")
 
         ctx = multiprocessing.get_context("fork")

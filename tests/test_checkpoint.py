@@ -417,6 +417,7 @@ class TestCacheDegrade:
             return exp.trace("original")
 
         t1 = cache.load_or_build("k", builder)
+        cache.flush()  # publication (and hence the degrade) is async
         assert cache.degraded
         t2 = cache.load_or_build("k", builder)
         assert len(built) == 1  # second call was a memory hit
@@ -482,7 +483,12 @@ class TestWriterIdentity:
             cache_mod._stage_and_publish(tmp_path / "out.json", "{}")
         finally:
             Path.replace = orig_replace
-        assert seen and seen[0] == f"out.json.{_writer_token()}.tmp"
+        # <name>.<pid>-<ticks>-<serial>.tmp — the serial keeps sibling
+        # publisher threads off each other's staging file
+        assert seen
+        prefix = f"out.json.{_writer_token()}-"
+        assert seen[0].startswith(prefix) and seen[0].endswith(".tmp")
+        assert seen[0][len(prefix):-len(".tmp")].isdigit()
         assert (tmp_path / "out.json").read_text() == "{}"
 
 

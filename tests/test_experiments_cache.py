@@ -146,11 +146,13 @@ class TestConcurrentWriters:
         # both writers succeed with identical content; the published
         # file is complete and no temp files leak
         assert outs[0] == outs[1]
-        files = list(tmp_path.glob("*.dim"))
+        files = list(tmp_path.glob("*.rct"))
         assert len(files) == 1
-        # published entry = serialized trace + one checksum trailer line
-        body, trailer, end = files[0].read_text().rpartition("#CACHE:")
-        assert body == outs[0] and trailer and end.endswith("\n")
+        # published entry is a complete columnar container holding the
+        # same trace both builders produced
+        from repro.trace.columnar import decode
+        stored = decode(files[0].read_bytes()).to_traceset()
+        assert dim.dumps(stored) == outs[0]
         assert not list(tmp_path.glob("*.tmp"))
 
 
