@@ -5,6 +5,11 @@ Measures two things and writes them to ``BENCH_replay.json``:
 * **Replay throughput** — simulated events per second of wall-clock on
   a warmed replay plan (the hot path: opcode dispatch, memoized
   matching, coalesced bursts);
+* **Audit overhead** — the same warmed replay with the invariant
+  auditor off / ``basic`` / ``full``.  The off row *is* the throughput
+  path (audit disabled leaves only dormant ``is None`` hooks in the
+  hot loop), so its overhead must stay within noise of zero; the
+  basic/full rows price the post-hoc integrity battery;
 * **Figure 6(a)-(c) grid wall-clock** — the speedup grid plus the
   bandwidth relaxation / equivalent-bandwidth searches, run three
   ways: serial and cold (the reference path), parallel with a cold
@@ -77,6 +82,42 @@ def bench_throughput(nranks: int, repeats: int = 5, samples: int = 5) -> dict:
         "samples": len(timings),
         "wall_seconds": elapsed,
         "events_per_second": events * repeats / elapsed,
+    }
+
+
+def bench_audit_overhead(nranks: int, repeats: int = 5,
+                         samples: int = 5) -> dict:
+    """Wall-clock of the warmed replay under each audit level.
+
+    Same best-of-``samples`` policy as :func:`bench_throughput`; the
+    ``off`` row replays with ``audit=None`` — the default production
+    path — and anchors the overhead percentages of ``basic``/``full``.
+    """
+    exp = AppExperiment("cg", nranks=nranks)
+    trace = exp.trace("original")
+    machine = MachineConfig.paper_testbed("cg")
+    simulate(trace, machine)  # warm the replay plan
+
+    def best(audit) -> float:
+        timings = []
+        for _ in range(max(1, samples)):
+            t0 = time.perf_counter()
+            for _ in range(repeats):
+                simulate(trace, machine, audit=audit)
+            timings.append(time.perf_counter() - t0)
+        return min(timings)
+
+    t_off, t_basic, t_full = best(None), best("basic"), best("full")
+    return {
+        "app": "cg",
+        "nranks": nranks,
+        "replays": repeats,
+        "samples": samples,
+        "off_seconds": t_off,
+        "basic_seconds": t_basic,
+        "full_seconds": t_full,
+        "basic_overhead_percent": 100.0 * (t_basic / t_off - 1.0),
+        "full_overhead_percent": 100.0 * (t_full / t_off - 1.0),
     }
 
 
@@ -163,6 +204,12 @@ def main(argv: list[str] | None = None) -> int:
     print(f"  {throughput['events_per_second']:,.0f} events/s "
           f"({throughput['events_per_replay']} events/replay)")
 
+    print("audit overhead (off / basic / full) ...", flush=True)
+    audit = bench_audit_overhead(args.nranks)
+    print(f"  off {audit['off_seconds']:.3f} s, "
+          f"basic +{audit['basic_overhead_percent']:.1f}%, "
+          f"full +{audit['full_overhead_percent']:.1f}%")
+
     print("figure 6 grid, serial cold (jobs=1) ...", flush=True)
     serial_obs, t_serial = run_fig6_grid(apps, args.nranks, jobs=1,
                                          cache_dir=None)
@@ -196,6 +243,7 @@ def main(argv: list[str] | None = None) -> int:
         "apps": apps,
         "grid_points": len(serial_obs["grid_durations"]),
         "throughput": throughput,
+        "audit": audit,
         "fig6_grid": {
             "serial_cold_seconds": t_serial,
             "parallel_cold_seconds": t_cold,

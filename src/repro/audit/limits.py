@@ -1,0 +1,67 @@
+"""Resource caps for trace ingestion.
+
+Trace files cross trust boundaries — they arrive from caches that any
+process may have corrupted, from other machines, and (in the fuzz
+harness) from an adversarial mutator.  The parsers therefore enforce
+hard ceilings *before* allocating: total input bytes, rank count,
+record count, and line length.  Exceeding a cap raises the parser's
+own typed error (:class:`~repro.trace.dim.TraceFormatError` /
+:class:`~repro.trace.columnar.ColumnarFormatError`), never ``MemoryError``.
+
+The caps resolve from the environment on every load (cheap — four
+``getenv`` calls per file, not per record):
+
+===========================  =====================================
+``REPRO_MAX_TRACE_MB``       total input size in MiB (default 512)
+``REPRO_MAX_RANKS``          processes per trace (default 65536)
+``REPRO_MAX_RECORDS``        records per trace (default 20 million)
+``REPRO_MAX_LINE_LEN``       bytes per text line (default 1 MiB)
+===========================  =====================================
+
+A value ``<= 0`` disables that cap.  This module deliberately imports
+nothing from the rest of the package, so both trace codecs can depend
+on it without cycles.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["IngestLimits", "ingest_limits"]
+
+_UNLIMITED = float("inf")
+
+
+@dataclass(frozen=True)
+class IngestLimits:
+    """Hard ceilings one parser invocation enforces."""
+
+    max_trace_bytes: float = 512 * 1024 * 1024
+    max_ranks: float = 65536
+    max_records: float = 20_000_000
+    max_line_len: float = 1024 * 1024
+
+
+def _env_cap(name: str, default: float, scale: float = 1.0) -> float:
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        return default
+    return value * scale if value > 0 else _UNLIMITED
+
+
+def ingest_limits() -> IngestLimits:
+    """The caps currently in force (environment-resolved)."""
+    d = IngestLimits()
+    return IngestLimits(
+        max_trace_bytes=_env_cap(
+            "REPRO_MAX_TRACE_MB", d.max_trace_bytes, scale=1024 * 1024
+        ),
+        max_ranks=_env_cap("REPRO_MAX_RANKS", d.max_ranks),
+        max_records=_env_cap("REPRO_MAX_RECORDS", d.max_records),
+        max_line_len=_env_cap("REPRO_MAX_LINE_LEN", d.max_line_len),
+    )

@@ -1,6 +1,6 @@
 """Command-line front-ends of the framework.
 
-Four entry points mirror the tool chain of paper Figure 3:
+Five entry points mirror the tool chain of paper Figure 3:
 
 * ``repro-trace``    — run an application under the tracer and write
   its Dimemas trace (the Valgrind stage);
@@ -9,6 +9,8 @@ Four entry points mirror the tool chain of paper Figure 3:
 * ``repro-simulate`` — replay a trace on a configurable platform and
   print/export the reconstructed timeline (the Dimemas stage);
 * ``repro-report``   — regenerate the paper's tables and figures.
+* ``repro-verify``   — certify trace integrity: structural validation,
+  a fully audited replay, and a double-replay determinism check.
 """
 
 from __future__ import annotations
@@ -20,6 +22,7 @@ import os
 import sys
 
 from .apps import APPS, get_app
+from .audit.auditor import IntegrityError
 from .core.ideal import ideal_transform
 from .core.transform import OverlapConfig, overlap_transform
 from .dimemas.machine import MachineConfig
@@ -30,7 +33,7 @@ from .paraver.stats import comm_stats, profile_table
 from .trace import dim, prv
 
 __all__ = ["main_analyze", "main_overlap", "main_report", "main_simulate",
-           "main_trace"]
+           "main_trace", "main_verify"]
 
 #: CLI exit codes for diagnosed replay failures (0 ok, 2 argparse).
 EXIT_DEADLOCK = 3
@@ -38,6 +41,9 @@ EXIT_TIMEOUT = 4
 #: The campaign drained gracefully after SIGTERM/SIGINT and left a
 #: journal behind: re-run with ``--resume <run-id>`` to continue.
 EXIT_RESUMABLE = 5
+#: The integrity audit found violations (``--strict-audit`` / a failed
+#: ``repro-verify`` certification).
+EXIT_INTEGRITY = 6
 EXIT_INTERRUPTED = 130
 
 
@@ -178,14 +184,31 @@ def _machine(args: argparse.Namespace) -> MachineConfig:
     )
 
 
-def _replay(trace, machine):
+def _audit_args(ap: argparse.ArgumentParser) -> None:
+    g = ap.add_argument_group("integrity")
+    g.add_argument("--audit", choices=("off", "basic", "full"), default=None,
+                   help="run the invariant auditor alongside the replay "
+                        "(default: $REPRO_AUDIT, else off)")
+    g.add_argument("--strict-audit", action="store_true",
+                   help="treat any audit violation as a failure (exit 6)")
+
+
+def _replay(trace, machine, audit=None, strict=False):
     """Run :func:`simulate`, printing a post-mortem on failure.
 
     Returns ``(result, exit_code)``; ``result`` is None when the replay
-    deadlocked (exit 3) or tripped the watchdog (exit 4).
+    deadlocked (exit 3), tripped the watchdog (exit 4), or — with
+    ``strict`` — failed the integrity audit (exit 6).  A non-strict
+    audit prints its report to stderr and keeps the result.
     """
+    acfg = None
+    if audit is not None or os.environ.get("REPRO_AUDIT"):
+        from .audit.auditor import AuditConfig, resolve_level
+        level = resolve_level(audit)
+        if level != "off":
+            acfg = AuditConfig(level=level, strict=strict)
     try:
-        return simulate(trace, machine), 0
+        result = simulate(trace, machine, audit=acfg)
     except DeadlockError as exc:
         print("replay deadlocked; post-mortem:", file=sys.stderr)
         print(exc.report.render(), file=sys.stderr)
@@ -195,6 +218,13 @@ def _replay(trace, machine):
               file=sys.stderr)
         print(exc.report.render(), file=sys.stderr)
         return None, EXIT_TIMEOUT
+    except IntegrityError as exc:
+        print("replay failed the integrity audit:", file=sys.stderr)
+        print(exc.report.render(), file=sys.stderr)
+        return None, EXIT_INTEGRITY
+    if acfg is not None and acfg.report is not None:
+        print(acfg.report.render(), file=sys.stderr)
+    return result, 0
 
 
 @_interruptible
@@ -268,6 +298,7 @@ def main_simulate(argv: list[str] | None = None) -> int:
     )
     ap.add_argument("trace")
     _machine_args(ap)
+    _audit_args(ap)
     ap.add_argument("--gantt", action="store_true",
                     help="print an ASCII Gantt of the reconstruction")
     ap.add_argument("--state-profile", action="store_true",
@@ -282,7 +313,8 @@ def main_simulate(argv: list[str] | None = None) -> int:
 
     with _observed(args, "repro-simulate"):
         trace = dim.load(args.trace)
-        result, code = _replay(trace, _machine(args))
+        result, code = _replay(trace, _machine(args), audit=args.audit,
+                               strict=args.strict_audit)
         if result is None:
             return code
         print(f"simulated {result.nranks} ranks: makespan {result.duration * 1e6:.1f} us, "
@@ -327,6 +359,7 @@ def main_analyze(argv: list[str] | None = None) -> int:
     ap.add_argument("--simulate", action="store_true",
                     help="also replay and print profile + critical path")
     _machine_args(ap)
+    _audit_args(ap)
     _obs_args(ap)
     args = ap.parse_args(argv)
 
@@ -355,7 +388,8 @@ def main_analyze(argv: list[str] | None = None) -> int:
 
         if args.simulate:
             from .paraver.critical import critical_path, render_path
-            result, code = _replay(trace, _machine(args))
+            result, code = _replay(trace, _machine(args), audit=args.audit,
+                                   strict=args.strict_audit)
             if result is None:
                 return code
             print(f"\nreplay: makespan {result.duration * 1e6:.1f} us, "
@@ -388,6 +422,11 @@ def main_report(argv: list[str] | None = None) -> int:
     ap.add_argument("--degraded", action="store_true",
                     help="report FAILED rows instead of aborting when "
                          "replays keep failing")
+    ap.add_argument("--verify-sample", type=float, default=None, metavar="P",
+                    help="determinism spot-check: re-replay this fraction "
+                         "(0..1) of cached and worker-returned grid points "
+                         "in-process; digest mismatches are quarantined "
+                         "and re-executed (default: $REPRO_VERIFY_SAMPLE)")
     g = ap.add_argument_group("checkpoint/resume")
     g.add_argument("--resume", default=None, metavar="RUN_ID",
                    help="resume an interrupted campaign: replay its "
@@ -430,11 +469,95 @@ def main_report(argv: list[str] | None = None) -> int:
                               include_bandwidth=not args.no_bandwidth,
                               jobs=args.jobs, cache_dir=args.cache_dir,
                               degraded=args.degraded, checkpoint=journal,
+                              verify_sample=args.verify_sample,
                               **kwargs))
         finally:
             if journal is not None:
                 journal.close()
     return 0
+
+
+def _verify_targets(paths: list[str], error) -> list:
+    """Expand ``repro-verify`` operands into trace file paths."""
+    from pathlib import Path
+
+    targets = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            found = sorted(q for q in p.iterdir()
+                           if q.suffix in (".dim", ".rct"))
+            if not found:
+                error(f"no .dim/.rct traces under {raw}")
+            targets.extend(found)
+        elif p.exists():
+            targets.append(p)
+        else:
+            error(f"no such trace: {raw}")
+    return targets
+
+
+@_interruptible
+def main_verify(argv: list[str] | None = None) -> int:
+    """``repro-verify TRACE [TRACE...]`` — certify trace integrity.
+
+    For each ``.dim`` / ``.rct`` file (or every one in a directory):
+    structural validation, an audited replay, and a double-replay
+    determinism check.  Any violation fails the certification and the
+    command exits with :data:`EXIT_INTEGRITY`.
+    """
+    ap = argparse.ArgumentParser(
+        prog="repro-verify",
+        description="Certify trace integrity: validation, audited replay, "
+                    "double-replay determinism check.",
+    )
+    ap.add_argument("paths", nargs="+", metavar="TRACE",
+                    help=".dim/.rct trace files or directories of them")
+    ap.add_argument("--level", choices=("basic", "full"), default="full",
+                    help="audit depth for the replay pass (default: full)")
+    ap.add_argument("--no-double-replay", action="store_true",
+                    help="skip the second replay / digest comparison")
+    ap.add_argument("--report", action="store_true",
+                    help="print the full integrity report for every "
+                         "trace, not only the failing ones")
+    _machine_args(ap)
+    _obs_args(ap)
+    args = ap.parse_args(argv)
+
+    from .audit.certify import certify_trace
+    from .trace.columnar import ColumnarFormatError, decode
+    from .trace.dim import TraceFormatError
+
+    targets = _verify_targets(args.paths, ap.error)
+    machine = _machine(args)
+    failed = 0
+    with _observed(args, "repro-verify"):
+        for path in targets:
+            try:
+                if path.suffix == ".rct":
+                    trace = decode(path.read_bytes())
+                else:
+                    trace = dim.load(str(path))
+            except (TraceFormatError, ColumnarFormatError, OSError) as exc:
+                failed += 1
+                print(f"FAIL {path}: unreadable trace: {exc}")
+                continue
+            report = certify_trace(
+                trace, machine=machine, level=args.level,
+                double_replay=not args.no_double_replay,
+            )
+            verdict = "PASS" if report.ok else "FAIL"
+            print(f"{verdict} {path}: {report.nranks} ranks, "
+                  f"{len(report.checks)} checks, "
+                  f"{len(report.violations)} violations")
+            if not report.ok:
+                failed += 1
+            if not report.ok or args.report:
+                print(report.render())
+        n = len(targets)
+        print(f"verified {n} trace{'s' if n != 1 else ''}: "
+              f"{n - failed} passed, {failed} failed")
+    return EXIT_INTEGRITY if failed else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

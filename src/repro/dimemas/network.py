@@ -114,6 +114,11 @@ class Network:
         self._free_out = [cfg.output_ports] * nranks
         self._free_in = [cfg.input_ports] * nranks
         self._queue: list[Transfer] = []
+        #: Optional :class:`repro.audit.InvariantAuditor` — when set,
+        #: occupancy is cross-checked against capacity at every
+        #: acquire/release (one ``is None`` branch per started transfer,
+        #: nothing on the zero-byte/SMP bypass paths).
+        self.auditor = None
         #: Hoisted platform constants — read once per transfer in the
         #: replay inner loop instead of walking ``cfg`` attributes.
         self._latency = cfg.latency
@@ -197,6 +202,8 @@ class Network:
         self._active = active
         if active > self.peak_active:
             self.peak_active = active
+        if self.auditor is not None:
+            self.auditor.check_occupancy(self, t)
         loop = self.loop
         t.start_time = loop.now
         # Same arithmetic as cfg.transfer_seconds, minus the property
@@ -210,6 +217,8 @@ class Network:
         self._free_out[t.src] += 1
         self._free_in[t.dst] += 1
         self._active -= 1
+        if self.auditor is not None:
+            self.auditor.check_release(self, t)
         loop = self.loop
         t._fire_injected(loop.now)
         loop.at(loop.now + self._latency, lambda: t._fire_arrived(loop.now))

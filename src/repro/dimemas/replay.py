@@ -139,7 +139,7 @@ class _RankRunner:
         "sim", "rank", "ops", "durs", "events_at", "waits_at", "colls_at",
         "sizes", "rvs", "send_tr", "recv_tr", "n",
         "idx", "now", "finished", "states", "events",
-        "_block_label", "_block_start",
+        "_block_label", "_block_start", "_aud",
     )
 
     def __init__(self, sim: "_Simulation", rank: int):
@@ -164,6 +164,11 @@ class _RankRunner:
         self.events: list[tuple[float, str, int]] = []
         self._block_label: str | None = None
         self._block_start = 0.0
+        # Causal ring capture only at ``full`` audit level; the common
+        # unaudited replay keeps this None (one dead branch on the
+        # blocking paths, nothing in the record dispatch loop).
+        aud = sim.auditor
+        self._aud = aud if aud is not None and aud.full else None
 
     # -- state bookkeeping ---------------------------------------------------
     def _push_state(self, label: str, t0: float, t1: float) -> None:
@@ -178,9 +183,18 @@ class _RankRunner:
     def _block(self, label: str) -> None:
         self._block_label = label
         self._block_start = self.now
+        if self._aud is not None:
+            self._aud.note(
+                self.rank, self.now, f"block ({label}) at record {self.idx}"
+            )
 
     def _resume(self, t: float) -> None:
         """Completion callback: close the blocked state and continue."""
+        if self._aud is not None:
+            self._aud.note(
+                self.rank, t,
+                f"resume from {self._block_label} at record {self.idx}",
+            )
         if t < self.now:
             t = self.now
         if self._block_label is not None:
@@ -540,7 +554,12 @@ def _plan_for(trace: "TraceSet | ColumnarTrace") -> _ReplayPlan:
 class _Simulation:
     """Shared replay state: loop, network, transfers, runners."""
 
-    def __init__(self, trace: "TraceSet | ColumnarTrace", cfg: MachineConfig):
+    def __init__(
+        self,
+        trace: "TraceSet | ColumnarTrace",
+        cfg: MachineConfig,
+        auditor: "InvariantAuditor | None" = None,
+    ):
         plan = _plan_for(trace)
         self.plan = plan
         col = plan.col
@@ -550,6 +569,9 @@ class _Simulation:
         self.loop = EventLoop()
         self.network = Network(self.loop, col.nranks, cfg)
         self.coll = _CollectiveSync(col.nranks, cfg, self.loop)
+        self.auditor = auditor
+        if auditor is not None:
+            auditor.attach_network(self.network)
 
         #: Per-rank, per-record-index transfer slots (None = unmatched
         #: or not a point-to-point record).  Flat list indexing here is
@@ -588,6 +610,7 @@ def simulate(
     machine: MachineConfig | None = None,
     max_events: int | None = None,
     max_sim_time: float | None = None,
+    audit=None,
 ) -> SimResult:
     """Replay ``trace`` on ``machine`` and reconstruct its timeline.
 
@@ -606,13 +629,28 @@ def simulate(
     raises :class:`~repro.dimemas.postmortem.SimulationTimeout` with
     the same post-mortem snapshot, so a runaway replay is always
     diagnosable, never a hang.
+
+    ``audit`` enables the integrity auditor: an
+    :class:`~repro.audit.AuditConfig`, a level string
+    (``"basic"``/``"full"``), or ``None`` for off.  With a config whose
+    ``strict`` flag is set, any violation raises
+    :class:`~repro.audit.IntegrityError`; otherwise the report lands on
+    ``audit.report``.
     """
     cfg = machine or MachineConfig()
+    acfg = auditor = None
+    if audit is not None:
+        # Imported lazily: repro.audit depends on this package for its
+        # error taxonomy, and the unaudited hot path should not pay for
+        # (or depend on) the audit machinery at all.
+        from ..audit.auditor import AuditConfig, InvariantAuditor
+        acfg = AuditConfig.coerce(audit)
+        auditor = InvariantAuditor(acfg) if acfg is not None else None
     metrics = get_registry()
     t_begin = time.perf_counter()
     sp = _span("replay.simulate", nranks=trace.nranks)
     with sp:
-        sim = _Simulation(trace, cfg)
+        sim = _Simulation(trace, cfg, auditor)
         for runner in sim.runners:
             sim.loop.at(0.0, runner.advance)
         budget_events = max_events if max_events is not None else cfg.max_events
@@ -665,6 +703,11 @@ def simulate(
                 "events_executed": sim.loop.executed,
             },
         )
+        if auditor is not None:
+            report = auditor.finish(sim, result)
+            if acfg.strict and not report.ok:
+                from ..audit.auditor import IntegrityError
+                raise IntegrityError(report)
         # End-of-replay metric rollup: a handful of dict operations per
         # *replay*, never per event, so the disabled-observability path
         # stays within noise of uninstrumented code.

@@ -74,8 +74,18 @@ class SimResult:
     # State accounting.
     # ------------------------------------------------------------------ #
     def time_in_state(self, state: str, rank: int | None = None) -> float:
-        """Total seconds spent in ``state`` (one rank or all ranks)."""
-        ranks = range(self.nranks) if rank is None else (rank,)
+        """Total seconds spent in ``state`` (one rank or all ranks).
+
+        A rank with no recorded intervals contributes 0 — ``states``
+        may legitimately be shorter than ``nranks`` (e.g. a result
+        restored from ``to_dict(include_states=False)`` output).
+        """
+        if rank is None:
+            ranks = range(min(self.nranks, len(self.states)))
+        elif 0 <= rank < len(self.states):
+            ranks = (rank,)
+        else:
+            return 0.0
         return sum(
             t1 - t0
             for r in ranks
@@ -113,7 +123,13 @@ class SimResult:
     # Event helpers (iteration slicing for Figure 4-style views).
     # ------------------------------------------------------------------ #
     def event_times(self, name: str, rank: int = 0) -> list[tuple[float, int]]:
-        """``(time, value)`` of every event ``name`` on ``rank``."""
+        """``(time, value)`` of every event ``name`` on ``rank``.
+
+        Empty for a rank with no event list (empty traces, results
+        restored without per-rank events) rather than an IndexError.
+        """
+        if not 0 <= rank < len(self.events):
+            return []
         return [(t, v) for (t, n, v) in self.events[rank] if n == name]
 
     def window(self, t0: float, t1: float) -> "SimResult":

@@ -57,6 +57,7 @@ import logging
 import os
 import shutil
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import asdict
 from pathlib import Path
@@ -246,7 +247,9 @@ def sweep_cache_dir(cache_dir: str | Path) -> int:
     Sweeps the ``traces`` and ``replays`` subdirectories for staging
     files of dead writers *and* of the calling process itself — after a
     Ctrl-C or SIGTERM the caller's own half-written staging file is
-    garbage too.  Returns how many files were removed.
+    garbage too.  Also applies the quarantine retention policy to each
+    subdirectory's ``quarantine/``.  Returns how many files were
+    removed.
     """
     root = Path(cache_dir)
     removed = 0
@@ -254,6 +257,9 @@ def sweep_cache_dir(cache_dir: str | Path) -> int:
     for sub in (root / "traces", root / "replays", root / "dispatch"):
         if not sub.is_dir():
             continue
+        qdir = sub / "quarantine"
+        if qdir.is_dir():
+            removed += _prune_quarantine(qdir)
         for tmp in sub.glob("*.tmp"):
             parts = tmp.name.rsplit(".", 2)  # <entry-name>.<token>.tmp
             token = parts[1] if len(parts) == 3 else ""
@@ -266,6 +272,66 @@ def sweep_cache_dir(cache_dir: str | Path) -> int:
                 except OSError:
                     pass
         removed += _sweep_orphan_tmps(sub)
+    return removed
+
+
+def _quarantine_retention() -> tuple[int, float]:
+    """(max entries, max age in seconds) for quarantine directories.
+
+    ``REPRO_QUARANTINE_KEEP`` (default 32) bounds the count;
+    ``REPRO_QUARANTINE_MAX_AGE_DAYS`` (default 14) bounds the age.
+    A value ``<= 0`` disables that bound.
+    """
+    def _env(name: str, default: float) -> float:
+        raw = os.environ.get(name)
+        if raw is None or not raw.strip():
+            return default
+        try:
+            return float(raw)
+        except ValueError:
+            return default
+
+    keep = int(_env("REPRO_QUARANTINE_KEEP", 32))
+    age_days = _env("REPRO_QUARANTINE_MAX_AGE_DAYS", 14.0)
+    return keep, age_days * 86400.0
+
+
+def _prune_quarantine(qdir: Path) -> int:
+    """Bound a ``quarantine/`` directory by entry count and age.
+
+    Quarantined entries are evidence, not data — without retention a
+    long campaign against a flaky disk grows the directory forever.
+    Keeps the newest ``REPRO_QUARANTINE_KEEP`` files and drops anything
+    older than ``REPRO_QUARANTINE_MAX_AGE_DAYS``; returns how many
+    files were removed.
+    """
+    keep, max_age = _quarantine_retention()
+    entries: list[tuple[float, Path]] = []
+    try:
+        for p in qdir.iterdir():
+            if p.is_file():
+                try:
+                    entries.append((p.stat().st_mtime, p))
+                except OSError:
+                    pass  # concurrently removed
+    except OSError:
+        return 0
+    entries.sort(reverse=True)  # newest first
+    now = time.time()
+    removed = 0
+    for i, (mtime, p) in enumerate(entries):
+        over_count = keep > 0 and i >= keep
+        over_age = max_age > 0 and (now - mtime) > max_age
+        if over_count or over_age:
+            try:
+                p.unlink()
+                removed += 1
+            except OSError:
+                pass
+    if removed:
+        _log.info("pruned %d expired quarantine entr%s in %s",
+                  removed, "y" if removed == 1 else "ies", qdir)
+        get_registry().counter("cache.quarantine_pruned").inc(removed)
     return removed
 
 
@@ -295,6 +361,7 @@ def _quarantine(path: Path, reason: str) -> None:
     _log.warning("quarantined corrupt cache entry %s -> %s (%s)",
                  path, target, reason)
     get_registry().counter("cache.quarantined").inc()
+    _prune_quarantine(qdir)
 
 
 class _DegradableCache:
@@ -773,6 +840,29 @@ class SimResultCache(_DegradableCache):
             return None
         self._publish(path, self._dur_line(result.duration))
         return result.duration
+
+    def quarantine_entry(self, key: str, reason: str) -> bool:
+        """Evict ``key`` as *untrusted*: quarantine its files, drop memory.
+
+        Used by determinism verification (``--verify-sample``) when a
+        cached result fails its re-replay digest check: the entry and
+        its duration sidecar move to ``quarantine/`` for inspection and
+        the in-memory copy is dropped, so the next lookup is a miss and
+        the point is re-simulated.  Returns True when anything was
+        evicted.
+        """
+        evicted = self._mem.pop(key, None) is not None
+        path = self.path_for(key)
+        if path.exists():
+            _quarantine(path, reason)
+            evicted = True
+        dur = self._dur_path(key)
+        if dur.exists():
+            _quarantine(dur, reason)
+            evicted = True
+        if evicted:
+            get_registry().counter(f"{self.METRIC_PREFIX}.distrusted").inc()
+        return evicted
 
     def load_or_simulate(
         self,

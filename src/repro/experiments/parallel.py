@@ -27,6 +27,7 @@ several levels per round with bitwise-identical thresholds.
 from __future__ import annotations
 
 import gc
+import hashlib
 import itertools
 import logging
 import os
@@ -590,6 +591,15 @@ class ExperimentEngine:
         :class:`WorkerMemoryError` — a retryable, journalable failure —
         instead of dying to the OOM killer and breaking the pool.
         Defaults to ``$REPRO_WORKER_RSS_LIMIT_MB`` (unset = no budget).
+    verify_sample:
+        Determinism certification rate in ``[0, 1]`` (default
+        ``$REPRO_VERIFY_SAMPLE``, unset = 0 = off).  A deterministic
+        per-point hash selects roughly this fraction of cache hits and
+        executed points; each selected point is re-replayed in the
+        parent and compared content-digest-for-digest
+        (:func:`repro.audit.result_digest`).  A mismatching cached
+        entry is quarantined and the point re-executed; every mismatch
+        lands in :attr:`verify_mismatches` and the run manifest.
 
     The engine is a context manager; :meth:`close` shuts the pool down.
     :meth:`request_drain` (wired to SIGTERM/SIGINT by
@@ -606,6 +616,7 @@ class ExperimentEngine:
         degraded: bool = False,
         checkpoint: CheckpointJournal | None = None,
         rss_limit_mb: float | None = None,
+        verify_sample: float | None = None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -622,6 +633,19 @@ class ExperimentEngine:
                 except ValueError:
                     rss_limit_mb = None
         self.rss_limit_mb = rss_limit_mb
+        if verify_sample is None:
+            raw = os.environ.get("REPRO_VERIFY_SAMPLE")
+            if raw:
+                try:
+                    verify_sample = float(raw)
+                except ValueError:
+                    verify_sample = None
+        self.verify_sample = (
+            min(1.0, max(0.0, float(verify_sample))) if verify_sample else 0.0
+        )
+        #: One dict per determinism-verification mismatch this engine
+        #: caught (point identity, expected/actual digest, source).
+        self.verify_mismatches: list[dict] = []
         #: Points that exhausted their retry budget, by grid point.
         self.quarantine: dict[GridPoint, PointFailure] = {}
         self._experiments: dict = {}
@@ -651,9 +675,12 @@ class ExperimentEngine:
     @property
     def mediated(self) -> bool:
         """True when work should route through the engine even for one
-        serial process — a parallel pool, degraded bookkeeping, or a
-        checkpoint journal all need to see every point."""
-        return self.jobs > 1 or self.degraded or self.checkpoint is not None
+        serial process — a parallel pool, degraded bookkeeping, a
+        checkpoint journal, or sampled re-verification all need to see
+        every point."""
+        return (self.jobs > 1 or self.degraded
+                or self.checkpoint is not None
+                or self.verify_sample > 0.0)
 
     def _interrupted(self, remaining: int) -> CampaignInterrupted:
         run_id = self.checkpoint.run_id if self.checkpoint is not None else None
@@ -707,6 +734,87 @@ class ExperimentEngine:
                                        {"result": value.to_dict()})
         elif self.checkpoint.entries.get((key, "duration")) is None:
             self.checkpoint.record(key, "duration", {"duration": value})
+
+    # -- determinism certification (--verify-sample) -------------------------
+    def _verify_sampled(self, point: GridPoint) -> bool:
+        """Deterministic sampling: the same point is always (not)
+        selected at a given rate, so re-runs and resumes verify the
+        same subset instead of a random one."""
+        rate = self.verify_sample
+        if rate <= 0.0:
+            return False
+        if rate >= 1.0:
+            return True
+        h = hashlib.sha256(repr(point_key(point)).encode()).digest()
+        return int.from_bytes(h[:8], "big") / 2.0 ** 64 < rate
+
+    def _maybe_verify(self, point: GridPoint, mode: str, value, source: str):
+        """Certify one value by independent re-replay; heal on mismatch.
+
+        Re-simulates the point's trace directly (no memo, no caches)
+        and compares content digests (result mode) / exact makespans
+        (duration mode).  On mismatch the cached entry is quarantined
+        as untrusted, the fresh result is stored and returned, and the
+        mismatch is recorded in :attr:`verify_mismatches`, the metrics
+        (``audit.verify.*``), and the run manifest.
+        """
+        if isinstance(value, PointFailure) or value is None:
+            return value
+        if not self._verify_sampled(point):
+            return value
+        from ..audit.certify import result_digest
+        reg = get_registry()
+        reg.counter("audit.verify.sampled").inc()
+        exp = _resolve_experiment(point, self.cache_dir, self._experiments)
+        cfg = exp.platform(
+            bandwidth_mbps=point.bandwidth_mbps, buses=point.buses,
+            latency=point.latency,
+        )
+        trace = exp.trace(point.variant)
+        with _span("engine.verify_point", app=point.app,
+                   variant=point.variant):
+            fresh = simulate(trace, cfg)
+        if mode == "duration":
+            ok = fresh.duration == value
+            expected, actual = repr(fresh.duration), repr(value)
+        else:
+            expected, actual = result_digest(fresh), result_digest(value)
+            ok = expected == actual
+        if ok:
+            reg.counter("audit.verify.ok").inc()
+            return value
+        reg.counter("audit.verify.mismatched").inc()
+        key = None
+        if exp.sim_cache is not None:
+            from .cache import trace_digest
+            key = exp.sim_cache.key_for_digest(trace_digest(trace), cfg)
+            exp.sim_cache.quarantine_entry(
+                key, f"verify-sample digest mismatch "
+                     f"(expected {expected}, cached {actual})",
+            )
+            exp.sim_cache.store(key, fresh)
+        # Heal the in-process memo too, or the corrupt value would
+        # keep answering this experiment for the rest of the run.
+        exp._sims[(point.variant, cfg)] = fresh
+        record = {
+            "app": point.app,
+            "variant": point.variant,
+            "mode": mode,
+            "source": source,
+            "expected": expected,
+            "actual": actual,
+            "cache_key": key,
+        }
+        self.verify_mismatches.append(record)
+        run = current_run()
+        if run is not None:
+            run.record("verify_mismatch", **record)
+        _log.error(
+            "determinism verification FAILED for %s/%s (%s value from %s): "
+            "expected %s, got %s; entry quarantined and re-executed",
+            point.app, point.variant, mode, source, expected, actual,
+        )
+        return fresh if mode == "result" else fresh.duration
 
     # -- lifecycle ----------------------------------------------------------
     def close(self) -> None:
@@ -865,6 +973,7 @@ class ExperimentEngine:
                         buses=p.buses, latency=p.latency,
                     )
             if hit is not None:
+                hit = self._maybe_verify(p, mode, hit, "cache")
                 out[i] = hit
                 self._journal_value(p, mode, hit)
             else:
@@ -909,6 +1018,12 @@ class ExperimentEngine:
         self._run_resilient(mode, batches, out, failures)
         if failures and not self.degraded:
             raise GridExecutionError(failures)
+        if self.verify_sample > 0.0:
+            # Worker-returned values get the same certification as
+            # cache hits: a nondeterministic worker replay is caught by
+            # an independent parent-side re-replay.
+            for i in miss:
+                out[i] = self._maybe_verify(points[i], mode, out[i], "worker")
         return out
 
     def _run_resilient(
@@ -1151,6 +1266,7 @@ class ExperimentEngine:
                 _check_rss_budget(self.rss_limit_mb)
                 res = _simulate_point(p, self.cache_dir, self._experiments)
                 value = res if mode == "result" else res.duration
+                value = self._maybe_verify(p, mode, value, "serial")
                 out.append(value)
                 self._journal_value(p, mode, value)
                 reg.counter("engine.points_executed").inc()

@@ -81,6 +81,7 @@ def full_report(
     cache_dir: str | Path | None = None,
     degraded: bool = False,
     checkpoint: "CheckpointJournal | None" = None,
+    verify_sample: float | None = None,
 ) -> str:
     """Build the complete text report (can take a few minutes).
 
@@ -96,9 +97,15 @@ def full_report(
     write-ahead, SIGTERM/SIGINT drain gracefully into a resumable
     :class:`~repro.experiments.checkpoint.CampaignInterrupted`, and a
     resumed run serves journaled points without re-execution.
+
+    ``verify_sample`` (0..1, or ``$REPRO_VERIFY_SAMPLE``) re-replays
+    that fraction of cache hits and worker-returned grid points
+    in-process and quarantines any result whose content digest
+    disagrees — the determinism spot-check behind ``--verify-sample``.
     """
     engine = ExperimentEngine(jobs=jobs, cache_dir=cache_dir,
-                              degraded=degraded, checkpoint=checkpoint)
+                              degraded=degraded, checkpoint=checkpoint,
+                              verify_sample=verify_sample)
     try:
         with graceful_drain(engine):
             return _full_report(nranks, apps, include_bandwidth, engine)
@@ -234,6 +241,17 @@ def _full_report(
     if trace_cache is not None or sim_cache is not None:
         print(file=out)
         print(_cache_summary_line(cache_before), file=out)
+    if engine.verify_sample > 0.0:
+        reg = get_registry()
+        sampled = reg.counter("audit.verify.sampled").value
+        ok = reg.counter("audit.verify.ok").value
+        bad = reg.counter("audit.verify.mismatched").value
+        print(f"verify: {sampled} sampled, {ok} ok, {bad} mismatched"
+              f" (rate {engine.verify_sample:g})", file=out)
+        for m in engine.verify_mismatches:
+            print(f"  MISMATCH {m['app']}/{m['variant']} [{m['source']}] "
+                  f"{m['mode']}: cached {m['actual']} != fresh {m['expected']}"
+                  " (quarantined, re-executed)", file=out)
     return out.getvalue()
 
 
@@ -253,12 +271,16 @@ def main() -> None:  # pragma: no cover - exercised via CLI
     ap.add_argument("--degraded", action="store_true",
                     help="report FAILED rows instead of aborting when "
                          "replays keep failing")
+    ap.add_argument("--verify-sample", type=float, default=None,
+                    metavar="P", help="re-replay this fraction of cached/"
+                    "worker results and quarantine digest mismatches")
     args = ap.parse_args()
     try:
         sys.stdout.write(full_report(nranks=args.nranks,
                                      include_bandwidth=not args.no_bandwidth,
                                      jobs=args.jobs, cache_dir=args.cache_dir,
-                                     degraded=args.degraded) + "\n")
+                                     degraded=args.degraded,
+                                     verify_sample=args.verify_sample) + "\n")
     except CampaignInterrupted as exc:
         sys.stderr.write(f"{exc}\n")
         sys.exit(5 if exc.resumable else 130)

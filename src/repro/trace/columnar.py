@@ -56,6 +56,7 @@ from array import array
 
 import numpy as np
 
+from ..audit.limits import ingest_limits
 from .records import (
     AccessProfile,
     CollOp,
@@ -515,6 +516,12 @@ def decode(data: bytes) -> ColumnarTrace:
     schema version, truncation, checksum mismatch or trailing garbage —
     a damaged entry is never partially decoded.
     """
+    if len(data) > ingest_limits().max_trace_bytes:
+        raise ColumnarFormatError(
+            f"columnar payload is {len(data)} bytes, over the "
+            f"{ingest_limits().max_trace_bytes:.0f}-byte ingest cap "
+            "(REPRO_MAX_TRACE_MB)"
+        )
     cur = _Cursor(data)
     if cur.take(4) != MAGIC:
         raise ColumnarFormatError("not a columnar trace (bad magic)")
@@ -566,11 +573,24 @@ def _decode_core(core: bytes) -> ColumnarTrace:
         collops = list(hdr["collops"])
     except (UnicodeDecodeError, ValueError, KeyError, TypeError) as exc:
         raise ColumnarFormatError(f"undecodable core header: {exc}") from None
+    limits = ingest_limits()
     nranks = cur.u32()
+    if nranks > limits.max_ranks:
+        raise ColumnarFormatError(
+            f"{nranks} ranks, over the {limits.max_ranks:.0f}-rank "
+            "ingest cap (REPRO_MAX_RANKS)"
+        )
+    total_records = 0
     ranks = []
     for _ in range(nranks):
         rc = RankColumns()
         n = rc.n = cur.u32()
+        total_records += n
+        if total_records > limits.max_records:
+            raise ColumnarFormatError(
+                f"more than {limits.max_records:.0f} records "
+                "(REPRO_MAX_RECORDS)"
+            )
         rc.op = _arr_from("B", cur.take(n))
         rc.rv = _arr_from("b", cur.take(n))
         rc.dur = _arr_from("d", cur.take(8 * n))

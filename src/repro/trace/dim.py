@@ -26,6 +26,15 @@ Grammar (one record per line, ``:``-separated fields)::
 default).  ``AP`` lines attach to the immediately preceding S/IS (kind
 ``production``) or R/IR (kind ``consumption``) record; the ``b64``
 payload is the little-endian float64 ``times`` array.
+
+Ingestion is hardened (see :mod:`repro.audit.limits`): total input
+size, line length, process count, and record count are capped before
+allocation, and :func:`loads`/:func:`load` accept
+``errors="quarantine"`` to skip malformed *record* lines (collected
+with line attribution in ``trace.meta["quarantined_records"]``)
+instead of aborting the whole file.  Structural damage — a missing
+magic, a broken ``#META``/``P:`` header, or a blown cap — stays fatal
+in both modes.
 """
 
 from __future__ import annotations
@@ -33,11 +42,13 @@ from __future__ import annotations
 import base64
 import io
 import json
+import os
 from pathlib import Path
 from typing import TextIO
 
 import numpy as np
 
+from ..audit.limits import ingest_limits
 from ..obs import span as _span
 from .records import (
     AccessProfile,
@@ -162,17 +173,46 @@ def _parse_profile(parts: list[str]) -> AccessProfile:
     )
 
 
-def load(fp: TextIO | str | Path) -> TraceSet:
-    """Parse a trace from a file path or text stream."""
+def load(fp: TextIO | str | Path, errors: str = "raise") -> TraceSet:
+    """Parse a trace from a file path or text stream.
+
+    For paths, the file size is checked against the ingest cap
+    *before* the bytes are read, so an oversized file never reaches
+    memory.  ``errors`` is forwarded to :func:`loads`.
+    """
     if isinstance(fp, (str, Path)):
+        limits = ingest_limits()
+        size = os.stat(fp).st_size
+        if size > limits.max_trace_bytes:
+            raise TraceFormatError(
+                f"trace file is {size} bytes, over the "
+                f"{limits.max_trace_bytes:.0f}-byte ingest cap "
+                "(REPRO_MAX_TRACE_MB)"
+            )
         with _span("trace.dim.load"):
             with open(fp, "r", encoding="ascii") as f:
-                return load(f)
-    return loads(fp.read())
+                return load(f, errors=errors)
+    return loads(fp.read(), errors=errors)
 
 
-def loads(text: str) -> TraceSet:
-    """Parse a trace from a string."""
+def loads(text: str, errors: str = "raise") -> TraceSet:
+    """Parse a trace from a string.
+
+    ``errors="quarantine"`` skips malformed *record* lines instead of
+    aborting: each skipped line is collected (rank, line number, record
+    kind, reason, a clip of the text) in
+    ``trace.meta["quarantined_records"]``.  Structural errors — bad
+    magic, broken ``#META`` or ``P:`` headers, blown resource caps —
+    are fatal in both modes.
+    """
+    if errors not in ("raise", "quarantine"):
+        raise ValueError(f"errors must be 'raise' or 'quarantine', got {errors!r}")
+    limits = ingest_limits()
+    if len(text) > limits.max_trace_bytes:
+        raise TraceFormatError(
+            f"trace text is {len(text)} bytes, over the "
+            f"{limits.max_trace_bytes:.0f}-byte ingest cap (REPRO_MAX_TRACE_MB)"
+        )
     lines = text.splitlines()
     if not lines or lines[0].strip() != _MAGIC:
         raise TraceFormatError(f"missing magic header {_MAGIC!r}")
@@ -180,24 +220,57 @@ def loads(text: str) -> TraceSet:
     processes: list[ProcessTrace] = []
     current: ProcessTrace | None = None
     last_record: Record | None = None
+    quarantined: list[dict] = []
+    nrecords = 0
 
     for lineno, raw in enumerate(lines[1:], start=2):
+        if len(raw) > limits.max_line_len:
+            raise TraceFormatError(
+                f"line {lineno}: {len(raw)} characters, over the "
+                f"{limits.max_line_len:.0f}-character line cap "
+                "(REPRO_MAX_LINE_LEN)"
+            )
         line = raw.strip()
         if not line:
             continue
         if line.startswith("#META:"):
-            meta = json.loads(line[len("#META:"):])
+            try:
+                meta = json.loads(line[len("#META:"):])
+            except ValueError as exc:
+                raise TraceFormatError(
+                    f"line {lineno}: malformed #META json: {exc}"
+                ) from None
+            if not isinstance(meta, dict):
+                raise TraceFormatError(
+                    f"line {lineno}: #META must be a json object"
+                )
             continue
         if line.startswith("#"):
             continue
         kind, _, rest = line.partition(":")
         parts = rest.split(":") if rest else []
-        try:
-            if kind == "P":
+        if kind == "P":
+            if len(processes) >= limits.max_ranks:
+                raise TraceFormatError(
+                    f"line {lineno}: more than {limits.max_ranks:.0f} "
+                    "processes (REPRO_MAX_RANKS)"
+                )
+            try:
                 current = ProcessTrace(int(parts[0]))
-                processes.append(current)
-                last_record = None
-                continue
+            except (IndexError, ValueError) as exc:
+                raise TraceFormatError(
+                    f"line {lineno}: malformed 'P' record: {exc}"
+                ) from exc
+            processes.append(current)
+            last_record = None
+            continue
+        nrecords += 1
+        if nrecords > limits.max_records:
+            raise TraceFormatError(
+                f"line {lineno}: more than {limits.max_records:.0f} "
+                "records (REPRO_MAX_RECORDS)"
+            )
+        try:
             if current is None:
                 raise TraceFormatError("record before first process header")
             if kind == "AP":
@@ -256,11 +329,35 @@ def loads(text: str) -> TraceSet:
                 raise TraceFormatError(f"unknown record kind {kind!r}")
         except (IndexError, ValueError) as exc:
             if isinstance(exc, TraceFormatError):
+                message = str(exc)
+            else:
+                message = f"malformed {kind!r} record: {exc}"
+            if errors == "quarantine" and current is not None:
+                quarantined.append({
+                    "rank": current.rank,
+                    "line": lineno,
+                    "kind": kind,
+                    "reason": message,
+                    "text": line[:200],
+                })
+                # A following AP line must not attach to the record
+                # *before* the one we just dropped.
+                last_record = None
+                continue
+            if isinstance(exc, TraceFormatError):
                 raise TraceFormatError(f"line {lineno}: {exc}") from None
-            raise TraceFormatError(f"line {lineno}: malformed {kind!r} record: {exc}") from exc
+            raise TraceFormatError(f"line {lineno}: {message}") from exc
         current.append(rec)
         last_record = rec
 
     if not processes:
         raise TraceFormatError("trace contains no processes")
-    return TraceSet(processes, meta=meta)
+    if quarantined:
+        meta = dict(meta)
+        meta["quarantined_records"] = quarantined
+    try:
+        return TraceSet(processes, meta=meta)
+    except ValueError as exc:
+        # e.g. duplicate or out-of-order 'P' headers: still a parse
+        # error of this text, not an internal failure.
+        raise TraceFormatError(f"inconsistent process table: {exc}") from exc

@@ -1,0 +1,1 @@
+"""Mutational fuzz harness for the hardened trace parsers."""

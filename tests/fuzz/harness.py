@@ -1,0 +1,212 @@
+"""Seeded mutational fuzzing of the trace parsers.
+
+The contract under test is the hardened-ingestion guarantee of the
+integrity layer: no matter how mangled the input, :func:`repro.trace.
+dim.loads` raises only :class:`~repro.trace.dim.TraceFormatError` and
+:func:`repro.trace.columnar.decode` raises only
+:class:`~repro.trace.columnar.ColumnarFormatError` — never a bare
+``IndexError``/``struct.error``/``MemoryError``, never a hang.
+
+Deterministic in ``--seed``: every case derives from
+``random.Random(seed + iteration)``, so a reported failure replays
+with ``python -m tests.fuzz.harness --seed S --iterations 1 --skip I``.
+
+Run directly for the CI smoke budget::
+
+    python -m tests.fuzz.harness --iterations 2000
+
+or via the pytest wrapper (``tests/fuzz/test_fuzz_smoke.py``) for the
+tier-1 quick pass.
+"""
+
+from __future__ import annotations
+
+import argparse
+import functools
+import random
+import sys
+import time
+from dataclasses import dataclass, field
+
+from repro.trace import dim
+from repro.trace.columnar import ColumnarFormatError, columnar_of, decode
+from repro.trace.dim import TraceFormatError
+
+__all__ = ["FuzzFailure", "FuzzStats", "run"]
+
+#: Hard per-case wall budget; the ingestion caps are supposed to make
+#: pathological inputs fail fast, so tripping this is itself a bug.
+CASE_SECONDS = 5.0
+
+#: Mutants never grow past this (keeps the harness memory-stable).
+MAX_MUTANT = 2 << 20
+
+
+@dataclass
+class FuzzFailure:
+    """One escaped exception (or blown time budget)."""
+
+    iteration: int
+    seed: int
+    kind: str          # "dim" | "dim-quarantine" | "rcol"
+    error: str
+    elapsed: float
+
+    def render(self) -> str:
+        return (f"iteration {self.iteration} (seed {self.seed}, "
+                f"{self.kind}, {self.elapsed:.2f}s): {self.error}")
+
+
+@dataclass
+class FuzzStats:
+    iterations: int = 0
+    rejected: int = 0      # typed parse error (the expected outcome)
+    accepted: int = 0      # mutant still parsed (also fine)
+    failures: list = field(default_factory=list)
+    slowest: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        verdict = "OK" if self.ok else f"{len(self.failures)} FAILURE(S)"
+        lines = [
+            f"fuzz: {self.iterations} case(s), {self.accepted} accepted, "
+            f"{self.rejected} rejected, slowest {self.slowest:.3f}s "
+            f"-- {verdict}"
+        ]
+        lines += ["  " + f.render() for f in self.failures]
+        return "\n".join(lines)
+
+
+@functools.lru_cache(maxsize=1)
+def _corpus() -> tuple[list[bytes], list[bytes]]:
+    """Seed corpora: (dim texts as bytes, RCOL blobs)."""
+    from repro.tracer.tracefile import run_traced
+
+    def pipeline(comm):
+        import numpy as np
+        r, s = comm.rank, comm.size
+        buf = np.zeros(32)
+        for it in range(2):
+            comm.event("iteration", it)
+            if r > 0:
+                comm.Recv(buf, r - 1, tag=0)
+            comm.compute(10_000)
+            if r < s - 1:
+                comm.send(buf, r + 1, tag=0)
+        comm.barrier()
+
+    trace = run_traced(pipeline, 4, mips=1000.0).trace
+    full = dim.dumps(trace)
+    magic = full.splitlines()[0]
+    texts = [
+        full.encode(),
+        (magic + "\nP:0\nP:1\n"
+         "S:1:0:64:0:0:8:0:-\nR:0:0:64:0:0:8:0\n").encode(),
+        (magic + "\n#META {\"app\": \"x\"}\nP:0\nB:0.001:-\n").encode(),
+        b"",
+    ]
+    blobs = [columnar_of(trace).encode()]
+    return texts, blobs
+
+
+def _mutate(rng: random.Random, data: bytes, other: bytes) -> bytes:
+    """One seeded mutation: flip/truncate/delete/duplicate/insert/splice."""
+    if not data:
+        data = other or b"\n"
+    out = bytearray(data)
+    for _ in range(rng.randint(1, 4)):
+        op = rng.randrange(6)
+        if op == 0 and out:                      # flip bytes
+            for _ in range(rng.randint(1, 8)):
+                i = rng.randrange(len(out))
+                out[i] ^= 1 << rng.randrange(8)
+        elif op == 1 and out:                    # truncate
+            del out[rng.randrange(len(out)):]
+        elif op == 2 and len(out) > 1:           # delete a slice
+            i = rng.randrange(len(out) - 1)
+            del out[i:i + rng.randint(1, max(1, len(out) // 4))]
+        elif op == 3 and out:                    # duplicate a slice
+            i = rng.randrange(len(out))
+            j = min(len(out), i + rng.randint(1, 256))
+            out[i:i] = out[i:j]
+        elif op == 4:                            # insert random bytes
+            i = rng.randrange(len(out) + 1)
+            out[i:i] = bytes(rng.randrange(256)
+                             for _ in range(rng.randint(1, 64)))
+        else:                                    # splice from another entry
+            if other:
+                i = rng.randrange(len(out) + 1)
+                j = rng.randrange(len(other))
+                out[i:i] = other[j:j + rng.randint(1, 512)]
+    return bytes(out[:MAX_MUTANT])
+
+
+def _one_case(rng: random.Random) -> tuple[str, int]:
+    """Run one mutated input; returns (kind, outcome 0=rejected 1=ok)."""
+    texts, blobs = _corpus()
+    if rng.random() < 0.35:
+        kind = "rcol"
+        data = _mutate(rng, rng.choice(blobs), rng.choice(blobs))
+        try:
+            decode(data)
+            return kind, 1
+        except ColumnarFormatError:
+            return kind, 0
+    errors = "quarantine" if rng.random() < 0.5 else "raise"
+    kind = "dim-quarantine" if errors == "quarantine" else "dim"
+    data = _mutate(rng, rng.choice(texts), rng.choice(texts))
+    try:
+        dim.loads(data.decode("latin-1"), errors=errors)
+        return kind, 1
+    except TraceFormatError:
+        return kind, 0
+
+
+def run(iterations: int = 1000, seed: int = 0, skip: int = 0) -> FuzzStats:
+    """Execute ``iterations`` seeded cases; never raises."""
+    stats = FuzzStats()
+    for it in range(skip, skip + iterations):
+        rng = random.Random(seed + it)
+        kind = "?"
+        t0 = time.monotonic()
+        try:
+            kind, accepted = _one_case(rng)
+            elapsed = time.monotonic() - t0
+            stats.accepted += accepted
+            stats.rejected += 1 - accepted
+        except BaseException as exc:  # the contract violation we hunt
+            elapsed = time.monotonic() - t0
+            stats.failures.append(FuzzFailure(
+                iteration=it, seed=seed, kind=kind,
+                error=f"{type(exc).__name__}: {exc}", elapsed=elapsed,
+            ))
+        else:
+            if elapsed > CASE_SECONDS:
+                stats.failures.append(FuzzFailure(
+                    iteration=it, seed=seed, kind=kind,
+                    error=f"case exceeded {CASE_SECONDS:.0f}s budget",
+                    elapsed=elapsed,
+                ))
+        stats.iterations += 1
+        stats.slowest = max(stats.slowest, elapsed)
+    return stats
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--iterations", type=int, default=1000)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--skip", type=int, default=0,
+                    help="skip this many iterations first (replay one "
+                         "reported case with --skip I --iterations 1)")
+    args = ap.parse_args(argv)
+    stats = run(iterations=args.iterations, seed=args.seed, skip=args.skip)
+    print(stats.render())
+    return 0 if stats.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

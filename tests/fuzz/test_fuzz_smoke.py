@@ -1,0 +1,17 @@
+"""Tier-1 smoke slice of the mutational fuzz harness.
+
+CI runs the full budget (``python -m tests.fuzz.harness --iterations
+2000``); this keeps a couple hundred deterministic cases in every
+local test run so a parser regression is caught before CI.
+"""
+
+from tests.fuzz.harness import run
+
+
+def test_fuzz_smoke_dim_and_rcol():
+    stats = run(iterations=200, seed=0)
+    assert stats.iterations == 200
+    assert stats.ok, stats.render()
+    # The mutator must actually be exercising the error paths, not
+    # producing 200 still-valid traces.
+    assert stats.rejected > 0
