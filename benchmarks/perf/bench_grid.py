@@ -46,6 +46,9 @@ import tempfile
 import time
 from pathlib import Path
 
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "tools"))
+from bench_history import append_history
+
 from repro import __version__
 from repro.experiments.parallel import ExperimentEngine, expand_grid
 from repro.obs import get_registry
@@ -172,6 +175,8 @@ def main(argv: list[str] | None = None) -> int:
     }
     Path(args.output).write_text(json.dumps(doc, indent=1) + "\n")
     print(f"wrote {args.output}")
+    hist = append_history(doc, bench="grid")
+    print(f"appended history -> {hist}")
 
     if not identical:
         print("ERROR: parallel/warm runs diverged from the serial path",

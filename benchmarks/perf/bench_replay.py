@@ -41,6 +41,9 @@ import tempfile
 import time
 from pathlib import Path
 
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "tools"))
+from bench_history import append_history
+
 from repro import __version__
 from repro.dimemas.machine import MachineConfig
 from repro.dimemas.replay import simulate
@@ -118,6 +121,45 @@ def bench_audit_overhead(nranks: int, repeats: int = 5,
         "full_seconds": t_full,
         "basic_overhead_percent": 100.0 * (t_basic / t_off - 1.0),
         "full_overhead_percent": 100.0 * (t_full / t_off - 1.0),
+    }
+
+
+def bench_insight_overhead(nranks: int, repeats: int = 5,
+                           samples: int = 5) -> dict:
+    """Wall-clock of the warmed replay with wait attribution off / on.
+
+    The ``off`` row replays with ``insight=None`` — the production
+    default, whose only cost is dormant ``is None`` hooks on the
+    blocking paths — so its overhead must stay within noise of the
+    plain throughput path; the ``collecting`` row prices a fresh
+    :class:`repro.insight.InsightCollector` per replay.
+    """
+    from repro.insight import InsightCollector
+
+    exp = AppExperiment("cg", nranks=nranks)
+    trace = exp.trace("original")
+    machine = MachineConfig.paper_testbed("cg")
+    simulate(trace, machine)  # warm the replay plan
+
+    def best(make_insight) -> float:
+        timings = []
+        for _ in range(max(1, samples)):
+            t0 = time.perf_counter()
+            for _ in range(repeats):
+                simulate(trace, machine, insight=make_insight())
+            timings.append(time.perf_counter() - t0)
+        return min(timings)
+
+    t_off = best(lambda: None)
+    t_on = best(InsightCollector)
+    return {
+        "app": "cg",
+        "nranks": nranks,
+        "replays": repeats,
+        "samples": samples,
+        "off_seconds": t_off,
+        "collecting_seconds": t_on,
+        "collecting_overhead_percent": 100.0 * (t_on / t_off - 1.0),
     }
 
 
@@ -210,6 +252,11 @@ def main(argv: list[str] | None = None) -> int:
           f"basic +{audit['basic_overhead_percent']:.1f}%, "
           f"full +{audit['full_overhead_percent']:.1f}%")
 
+    print("insight overhead (off / collecting) ...", flush=True)
+    insight = bench_insight_overhead(args.nranks)
+    print(f"  off {insight['off_seconds']:.3f} s, "
+          f"collecting +{insight['collecting_overhead_percent']:.1f}%")
+
     print("figure 6 grid, serial cold (jobs=1) ...", flush=True)
     serial_obs, t_serial = run_fig6_grid(apps, args.nranks, jobs=1,
                                          cache_dir=None)
@@ -244,6 +291,7 @@ def main(argv: list[str] | None = None) -> int:
         "grid_points": len(serial_obs["grid_durations"]),
         "throughput": throughput,
         "audit": audit,
+        "insight": insight,
         "fig6_grid": {
             "serial_cold_seconds": t_serial,
             "parallel_cold_seconds": t_cold,
@@ -254,6 +302,8 @@ def main(argv: list[str] | None = None) -> int:
     }
     Path(args.output).write_text(json.dumps(doc, indent=1) + "\n")
     print(f"wrote {args.output}")
+    hist = append_history(doc, bench="replay")
+    print(f"appended history -> {hist}")
 
     if run is not None:
         spans = run.drain_spans()

@@ -11,6 +11,9 @@ Five entry points mirror the tool chain of paper Figure 3:
 * ``repro-report``   — regenerate the paper's tables and figures.
 * ``repro-verify``   — certify trace integrity: structural validation,
   a fully audited replay, and a double-replay determinism check.
+* ``repro-explain``  — deep-analyze why an application does (not)
+  benefit from overlap: wait-state attribution, overlap scorecards,
+  and a differential original/overlapped/ideal comparison.
 """
 
 from __future__ import annotations
@@ -32,8 +35,8 @@ from .paraver.gantt import render_gantt
 from .paraver.stats import comm_stats, profile_table
 from .trace import dim, prv
 
-__all__ = ["main_analyze", "main_overlap", "main_report", "main_simulate",
-           "main_trace", "main_verify"]
+__all__ = ["main_analyze", "main_explain", "main_overlap", "main_report",
+           "main_simulate", "main_trace", "main_verify"]
 
 #: CLI exit codes for diagnosed replay failures (0 ok, 2 argparse).
 EXIT_DEADLOCK = 3
@@ -401,6 +404,122 @@ def main_analyze(argv: list[str] | None = None) -> int:
 
 
 @_interruptible
+def main_explain(argv: list[str] | None = None) -> int:
+    """``repro-explain TARGET`` — why does overlap (not) pay here?
+
+    ``TARGET`` is either a paper application name (the skeleton is
+    traced, transformed, and replayed on its Table I test bed) or a
+    recorded ``.dim`` trace file (the overlapped and ideal variants are
+    derived from it).  The analysis replays the triple with the
+    wait-attribution channel attached and reports scorecards,
+    per-rank/per-phase cause tables, the critical-path breakdown, and
+    a §V-style verdict.
+    """
+    ap = argparse.ArgumentParser(
+        prog="repro-explain",
+        description="Attribute wait states and explain the overlap "
+                    "speedup of an application or trace.",
+    )
+    ap.add_argument("target",
+                    help="application name "
+                         f"({', '.join(sorted(APPS))}) or a .dim trace file")
+    ap.add_argument("-n", "--nranks", type=int, default=16,
+                    help="ranks for application targets (default: 16)")
+    ap.add_argument("--chunks", type=int, default=4,
+                    help="chunks per message of the transformation "
+                         "(paper: 4)")
+    ap.add_argument("--channel", type=int, default=None,
+                    help="restrict the pattern tables to one channel")
+    ap.add_argument("--no-ideal", action="store_true",
+                    help="skip the ideal-pattern variant")
+    ap.add_argument("--top-ranks", type=int, default=8,
+                    help="ranks shown in the attribution tables")
+    ap.add_argument("--json", metavar="FILE",
+                    help="write the machine-readable report "
+                         "(docs/schema/repro-explain.schema.json)")
+    ap.add_argument("--html", metavar="FILE",
+                    help="write the self-contained HTML deep report")
+    ap.add_argument("--perfetto", metavar="FILE",
+                    help="write wait-cause overlay tracks as a "
+                         "Perfetto-loadable trace JSON")
+    _machine_args(ap)
+    _obs_args(ap)
+    args = ap.parse_args(argv)
+
+    from .insight import explain_traces, render_html, render_text, to_json
+
+    with _observed(args, "repro-explain"):
+        app = None
+        if args.target.lower() in APPS:
+            app = args.target.lower()
+            run = get_app(app).trace(nranks=args.nranks)
+            original = run.trace
+            # Table I test bed of the application, with only the
+            # machine flags the user actually set overriding it.
+            overrides = {}
+            if args.bandwidth != ap.get_default("bandwidth"):
+                overrides["bandwidth_mbps"] = args.bandwidth
+            if args.latency != ap.get_default("latency"):
+                overrides["latency"] = args.latency
+            if args.buses != ap.get_default("buses"):
+                overrides["buses"] = args.buses or None
+            if args.cpu_ratio != ap.get_default("cpu_ratio"):
+                overrides["cpu_ratio"] = args.cpu_ratio
+            machine = MachineConfig.paper_testbed(app, **overrides)
+        else:
+            if not os.path.exists(args.target):
+                ap.error(f"{args.target!r} is neither a known application "
+                         f"({', '.join(sorted(APPS))}) nor a trace file")
+            original = dim.load(args.target)
+            machine = _machine(args)
+
+        traces = {"original": original}
+        traces["real"], _ = overlap_transform(
+            original, OverlapConfig(chunks=args.chunks)
+        )
+        if not args.no_ideal:
+            traces["ideal"], _ = ideal_transform(original,
+                                                 chunks=args.chunks)
+        try:
+            expl = explain_traces(
+                traces, machine=machine, app=app, chunks=args.chunks,
+                channel=args.channel, max_events=args.max_events,
+                max_sim_time=args.max_sim_time,
+            )
+        except DeadlockError as exc:
+            print("replay deadlocked; post-mortem:", file=sys.stderr)
+            print(exc.report.render(), file=sys.stderr)
+            return EXIT_DEADLOCK
+        except SimulationTimeout as exc:
+            print(f"replay watchdog expired ({exc.reason}); post-mortem:",
+                  file=sys.stderr)
+            print(exc.report.render(), file=sys.stderr)
+            return EXIT_TIMEOUT
+
+        print(render_text(expl, top_ranks=args.top_ranks))
+        if args.json:
+            import json as _json
+            with open(args.json, "w") as fh:
+                _json.dump(to_json(expl), fh, indent=1)
+                fh.write("\n")
+            print(f"wrote {args.json}")
+        if args.html:
+            with open(args.html, "w") as fh:
+                fh.write(render_html(expl))
+            print(f"wrote {args.html}")
+        if args.perfetto:
+            from .obs.export import write_insight_trace
+            tracks = [
+                (v, expl.attribution[v], expl.collectors.get(v))
+                for v in ("original", "real", "ideal")
+                if v in expl.attribution
+            ]
+            write_insight_trace(args.perfetto, tracks)
+            print(f"wrote {args.perfetto}")
+    return 0
+
+
+@_interruptible
 def main_report(argv: list[str] | None = None) -> int:
     """``repro-report [--nranks N] [--no-bandwidth] [-j N] [--cache-dir D]``"""
     ap = argparse.ArgumentParser(
@@ -427,6 +546,9 @@ def main_report(argv: list[str] | None = None) -> int:
                          "(0..1) of cached and worker-returned grid points "
                          "in-process; digest mismatches are quarantined "
                          "and re-executed (default: $REPRO_VERIFY_SAMPLE)")
+    ap.add_argument("--explain", action="store_true",
+                    help="append per-app overlap explanations (wait-state "
+                         "attribution scorecards and verdicts)")
     g = ap.add_argument_group("checkpoint/resume")
     g.add_argument("--resume", default=None, metavar="RUN_ID",
                    help="resume an interrupted campaign: replay its "
@@ -470,6 +592,7 @@ def main_report(argv: list[str] | None = None) -> int:
                               jobs=args.jobs, cache_dir=args.cache_dir,
                               degraded=args.degraded, checkpoint=journal,
                               verify_sample=args.verify_sample,
+                              explain=args.explain,
                               **kwargs))
         finally:
             if journal is not None:

@@ -119,6 +119,11 @@ class Network:
         #: acquire/release (one ``is None`` branch per started transfer,
         #: nothing on the zero-byte/SMP bypass paths).
         self.auditor = None
+        #: Optional :class:`repro.insight.InsightCollector` — when set,
+        #: the network reports why each transfer queued and how bus
+        #: occupancy evolved.  Same cost contract as the auditor hook:
+        #: one ``is None`` branch per started/queued transfer only.
+        self.insight = None
         #: Hoisted platform constants — read once per transfer in the
         #: replay inner loop instead of walking ``cfg`` attributes.
         self._latency = cfg.latency
@@ -167,8 +172,30 @@ class Network:
         else:
             self._queue.append(transfer)
             self._try_start()
+            if self.insight is not None and transfer.start_time is None:
+                # Still queued after the FIFO scan settled: some
+                # resource is genuinely exhausted for this transfer.
+                self.insight.note_queued(
+                    now, transfer, self._queue_cause(transfer),
+                    len(self._queue),
+                )
 
     # ------------------------------------------------------------------ #
+    def _queue_cause(self, t: Transfer) -> str:
+        """Which resource class is blocking ``t`` right now.
+
+        Checked in bus → output-port → input-port order, mirroring
+        :meth:`_resources_free`; the shared bus pool blocking everyone
+        is also the fallback.
+        """
+        if self._free_buses < 1:
+            return "bus_contention"
+        if self._free_out[t.src] < 1:
+            return "injection_port"
+        if self._free_in[t.dst] < 1:
+            return "endpoint_port"
+        return "bus_contention"
+
     def _resources_free(self, t: Transfer) -> bool:
         return (
             self._free_buses >= 1
@@ -206,6 +233,8 @@ class Network:
             self.auditor.check_occupancy(self, t)
         loop = self.loop
         t.start_time = loop.now
+        if self.insight is not None:
+            self.insight.note_start(loop.now, active, len(self._queue))
         # Same arithmetic as cfg.transfer_seconds, minus the property
         # chase — this runs once per started transfer.
         occupancy = t.size / self._bandwidth
@@ -219,6 +248,10 @@ class Network:
         self._active -= 1
         if self.auditor is not None:
             self.auditor.check_release(self, t)
+        if self.insight is not None:
+            self.insight.note_release(
+                self.loop.now, self._active, len(self._queue)
+            )
         loop = self.loop
         t._fire_injected(loop.now)
         loop.at(loop.now + self._latency, lambda: t._fire_arrived(loop.now))

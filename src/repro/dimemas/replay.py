@@ -139,7 +139,7 @@ class _RankRunner:
         "sim", "rank", "ops", "durs", "events_at", "waits_at", "colls_at",
         "sizes", "rvs", "send_tr", "recv_tr", "n",
         "idx", "now", "finished", "states", "events",
-        "_block_label", "_block_start", "_aud",
+        "_block_label", "_block_start", "_aud", "_ins", "_block_trs",
     )
 
     def __init__(self, sim: "_Simulation", rank: int):
@@ -169,6 +169,11 @@ class _RankRunner:
         # blocking paths, nothing in the record dispatch loop).
         aud = sim.auditor
         self._aud = aud if aud is not None and aud.full else None
+        # Analysis-event channel (``repro.insight``): None in the common
+        # unattributed replay — same cost contract as ``_aud``, one dead
+        # branch on the blocking paths only.
+        self._ins = sim.insight
+        self._block_trs: tuple = ()
 
     # -- state bookkeeping ---------------------------------------------------
     def _push_state(self, label: str, t0: float, t1: float) -> None:
@@ -199,6 +204,14 @@ class _RankRunner:
             t = self.now
         if self._block_label is not None:
             self._push_state(self._block_label, self._block_start, t)
+            if self._ins is not None:
+                # Mirror _push_state's epsilon skip inside record_wait
+                # so attributed wait time sums to recorded blocked time.
+                self._ins.record_wait(
+                    self.rank, self._block_label, self._block_start, t,
+                    self._block_trs,
+                )
+                self._block_trs = ()
             self._block_label = None
         self.now = t
         self.idx += 1
@@ -277,6 +290,8 @@ class _RankRunner:
                     self.idx = idx + 1
                     continue
                 self._block("Send")
+                if self._ins is not None:
+                    self._block_trs = (tr,)
                 tr.on_arrived(self._resume)
                 return
 
@@ -303,6 +318,8 @@ class _RankRunner:
                     self.idx = idx + 1
                     continue
                 self._block("Waiting a message")
+                if self._ins is not None:
+                    self._block_trs = (tr,)
                 tr.on_arrived(self._resume)
                 return
 
@@ -314,6 +331,12 @@ class _RankRunner:
                 dangling = False
                 req_map = sim.req_map
                 rank = self.rank
+                # Attribution needs every transfer the Wait inspects —
+                # already-arrived ones included, since the latest
+                # arrival (pending or not) defines the resume time.
+                seen: list[Transfer] | None = (
+                    [] if self._ins is not None else None
+                )
                 for req in self.waits_at[idx]:
                     entry = req_map.get((rank, req))
                     if entry is None:
@@ -324,6 +347,8 @@ class _RankRunner:
                     kind, tr = entry
                     if kind == "send" and not tr.rendezvous:
                         continue
+                    if seen is not None:
+                        seen.append(tr)
                     if tr.arrived:
                         if tr.arrival_time > latest:
                             latest = tr.arrival_time
@@ -337,6 +362,8 @@ class _RankRunner:
                     self.idx = idx + 1
                     continue
                 self._block("Wait/WaitAll")
+                if seen is not None:
+                    self._block_trs = tuple(seen)
                 remaining = len(pend)
                 acc = [latest]
 
@@ -559,6 +586,7 @@ class _Simulation:
         trace: "TraceSet | ColumnarTrace",
         cfg: MachineConfig,
         auditor: "InvariantAuditor | None" = None,
+        insight=None,
     ):
         plan = _plan_for(trace)
         self.plan = plan
@@ -572,6 +600,9 @@ class _Simulation:
         self.auditor = auditor
         if auditor is not None:
             auditor.attach_network(self.network)
+        self.insight = insight
+        if insight is not None:
+            self.network.insight = insight
 
         #: Per-rank, per-record-index transfer slots (None = unmatched
         #: or not a point-to-point record).  Flat list indexing here is
@@ -611,6 +642,7 @@ def simulate(
     max_events: int | None = None,
     max_sim_time: float | None = None,
     audit=None,
+    insight=None,
 ) -> SimResult:
     """Replay ``trace`` on ``machine`` and reconstruct its timeline.
 
@@ -636,6 +668,13 @@ def simulate(
     ``strict`` flag is set, any violation raises
     :class:`~repro.audit.IntegrityError`; otherwise the report lands on
     ``audit.report``.
+
+    ``insight`` attaches a :class:`repro.insight.InsightCollector`: the
+    replay reports every wait interval (with the transfers it blocked
+    on) and the network reports queueing causes and bus occupancy.
+    Attribution never perturbs the simulation — an attributed replay is
+    bitwise-identical to a plain one — and the ``insight=None`` default
+    costs one dead branch on the blocking paths only.
     """
     cfg = machine or MachineConfig()
     acfg = auditor = None
@@ -650,7 +689,7 @@ def simulate(
     t_begin = time.perf_counter()
     sp = _span("replay.simulate", nranks=trace.nranks)
     with sp:
-        sim = _Simulation(trace, cfg, auditor)
+        sim = _Simulation(trace, cfg, auditor, insight)
         for runner in sim.runners:
             sim.loop.at(0.0, runner.advance)
         budget_events = max_events if max_events is not None else cfg.max_events

@@ -82,6 +82,7 @@ def full_report(
     degraded: bool = False,
     checkpoint: "CheckpointJournal | None" = None,
     verify_sample: float | None = None,
+    explain: bool = False,
 ) -> str:
     """Build the complete text report (can take a few minutes).
 
@@ -102,13 +103,19 @@ def full_report(
     that fraction of cache hits and worker-returned grid points
     in-process and quarantines any result whose content digest
     disagrees — the determinism spot-check behind ``--verify-sample``.
+
+    ``explain=True`` appends an overlap-explanation section per app:
+    the attributed replay triple's scorecard and verdict from
+    :func:`repro.insight.explain_experiment` (serial — attributed
+    replays bypass the result caches).
     """
     engine = ExperimentEngine(jobs=jobs, cache_dir=cache_dir,
                               degraded=degraded, checkpoint=checkpoint,
                               verify_sample=verify_sample)
     try:
         with graceful_drain(engine):
-            return _full_report(nranks, apps, include_bandwidth, engine)
+            return _full_report(nranks, apps, include_bandwidth, engine,
+                                explain=explain)
     except CampaignInterrupted:
         # Graceful drain already journaled in-flight completions; drop
         # half-written staging files so the cache stays clean, then let
@@ -134,6 +141,7 @@ def _full_report(
     apps: tuple[str, ...],
     include_bandwidth: bool,
     engine: ExperimentEngine,
+    explain: bool = False,
 ) -> str:
     out = io.StringIO()
     trace_cache = sim_cache = None
@@ -235,6 +243,28 @@ def _full_report(
                 first = exc.failures[0].describe() if exc.failures else str(exc)
                 line = f"{a:>10} {'FAILED':>8} {'FAILED':>8}  [{first}]"
             print(line, file=out)
+
+    # ---- Overlap explanations (--explain) --------------------------------- #
+    if explain:
+        from ..insight import explain_experiment
+        print(file=out)
+        with _span("report.explain"):
+            print("== Overlap explanations (repro-explain) ==", file=out)
+            for a in apps:
+                try:
+                    ex = explain_experiment(exps[a])
+                    sc = ex.scorecards.get("real")
+                    if sc is not None:
+                        print(f"{a:>10}: attained "
+                              f"{sc.attained_fraction * 100:5.1f}%  "
+                              f"bound {sc.attainable_bound * 100:5.1f}%  "
+                              f"dominant residual "
+                              f"{ex.dominant_residual()}", file=out)
+                    print(f"{'':>10}  {ex.verdict}", file=out)
+                    for w in ex.warnings:
+                        print(f"{'':>10}  WARNING: {w}", file=out)
+                except Exception as exc:  # pragma: no cover - degraded row
+                    print(f"{a:>10}: explanation FAILED [{exc}]", file=out)
 
     # A blank line terminates the Figure 6 table (consumers parse rows
     # until the first blank line), then the cross-process cache totals.

@@ -1,0 +1,243 @@
+"""Root-cause classification of wait intervals into attribution tables.
+
+Every blocked interval the replay records is decomposed against the
+timeline of the transfer whose completion released it::
+
+    block ........................................ resume
+    |-- late_sender --|-- dependency_chain --|-- contention --|-- transfer --|
+    t0           send_time             ready_time        start_time         t1
+
+* **late_sender** — the partner had not even executed its send call
+  yet (a dependency the transformation cannot remove);
+* **dependency_chain** — the rendezvous handshake: both sides exist
+  but the protocol serializes them (send posted, receive not yet, or
+  vice versa);
+* **bus_contention / injection_port / endpoint_port** — the transfer
+  sat in the network queue; the network recorded which resource
+  blocked it when it was enqueued;
+* **transfer** — in-flight wire occupancy plus latency: irreducible at
+  this bandwidth, but *hideable* behind computation by overlap;
+* **collective** — group-communication synchronization;
+* **unresolved** — a blocked interval with no releasing transfer
+  (malformed traces; complete replays never produce one).
+
+Send-side blocks (rendezvous sends) decompose the same way — there the
+``late_sender`` share is zero by construction and the handshake share
+is the receiver being late.
+
+The per-rank invariant — attributed wait time sums exactly to the
+rank's recorded blocked time — holds because every interval is split
+with clamped cut points covering ``[t0, t1]`` with no gaps or overlap
+(``tests/test_insight.py`` pins it over every application skeleton).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from ..dimemas.results import SimResult
+from .channel import InsightCollector
+
+__all__ = ["CAUSES", "WaitAttribution", "WaitSegment", "attribute",
+           "classify_wait"]
+
+#: Cause vocabulary, roughly ordered from "structural dependency" to
+#: "resource pressure" to "inherent cost".
+CAUSES = (
+    "late_sender",
+    "dependency_chain",
+    "bus_contention",
+    "injection_port",
+    "endpoint_port",
+    "transfer",
+    "collective",
+    "unresolved",
+)
+
+#: Causes a perfect overlap transformation could hide behind compute
+#: (resource pressure and in-flight time); structural dependencies and
+#: collective synchronization are not hideable at the MPI-call level.
+HIDEABLE_CAUSES = frozenset(
+    {"bus_contention", "injection_port", "endpoint_port", "transfer"}
+)
+
+_EPS = 1e-15
+
+
+@dataclass(frozen=True, slots=True)
+class WaitSegment:
+    """One cause-labelled slice of a blocked interval."""
+
+    rank: int
+    cause: str
+    t0: float
+    t1: float
+    state: str          # the replay state label of the parent interval
+    src: int = -1       # sending rank of the releasing transfer (-1: n/a)
+    size: int = 0       # bytes of the releasing transfer
+
+    @property
+    def span(self) -> float:
+        return self.t1 - self.t0
+
+
+def classify_wait(
+    label: str,
+    t0: float,
+    t1: float,
+    transfers: tuple,
+    queue_cause: dict[int, str],
+    rank: int,
+) -> list[WaitSegment]:
+    """Split one blocked interval ``[t0, t1]`` into cause segments.
+
+    ``transfers`` are the transfers the rank was blocked on; the one
+    arriving last released the block and defines the decomposition.
+    """
+    if label == "Group communication":
+        return [WaitSegment(rank, "collective", t0, t1, label)]
+    done = [tr for tr in transfers if tr.arrival_time is not None]
+    if not done:
+        return [WaitSegment(rank, "unresolved", t0, t1, label)]
+    tr = max(done, key=lambda tr: tr.arrival_time)
+
+    def clamp(t: float | None) -> float:
+        if t is None:
+            return t1
+        return min(max(t, t0), t1)
+
+    send = clamp(tr.send_time)
+    ready = max(clamp(tr.ready_time), send)
+    start = max(clamp(tr.start_time), ready)
+    segments: list[WaitSegment] = []
+
+    def emit(cause: str, a: float, b: float) -> None:
+        if b > a + _EPS:
+            segments.append(
+                WaitSegment(rank, cause, a, b, label, tr.src, tr.size)
+            )
+
+    if label == "Send":
+        # The blocked rank IS the sender: the pre-handshake share is
+        # the receiver being late, a protocol dependency.
+        emit("dependency_chain", t0, ready)
+    else:
+        emit("late_sender", t0, send)
+        emit("dependency_chain", send, ready)
+    emit(queue_cause.get(id(tr), "bus_contention"), ready, start)
+    emit("transfer", start, t1)
+    if not segments:
+        # Degenerate interval narrower than every cut: keep the sum
+        # invariant by attributing the whole span to the last phase.
+        segments.append(WaitSegment(rank, "transfer", t0, t1, label,
+                                    tr.src, tr.size))
+    return segments
+
+
+@dataclass
+class WaitAttribution:
+    """Per-rank / per-phase wait-state attribution of one replay."""
+
+    nranks: int
+    #: ``per_rank[r][cause] -> seconds`` (all causes present, zeros kept).
+    per_rank: list[dict[str, float]]
+    #: Every cause-labelled segment, time-ordered (timeline overlays).
+    segments: list[WaitSegment]
+    #: ``phases[label][cause] -> seconds`` over all ranks; phase labels
+    #: come from ``iteration`` user events when the trace has them
+    #: (``"iter 0"``, ...), else one ``"whole run"`` phase.
+    phases: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: Network pressure summary from the collector.
+    queued_transfers: int = 0
+    queued_peak: int = 0
+
+    # ------------------------------------------------------------------ #
+    def totals(self) -> dict[str, float]:
+        """Seconds per cause summed over ranks."""
+        out = {c: 0.0 for c in CAUSES}
+        for row in self.per_rank:
+            for c, v in row.items():
+                out[c] += v
+        return out
+
+    def rank_total(self, rank: int) -> float:
+        """All attributed wait seconds of one rank."""
+        return sum(self.per_rank[rank].values())
+
+    @property
+    def total_wait(self) -> float:
+        return sum(self.rank_total(r) for r in range(self.nranks))
+
+    @property
+    def hideable_wait(self) -> float:
+        """Wait seconds a perfect overlap could hide behind compute."""
+        return sum(v for c, v in self.totals().items()
+                   if c in HIDEABLE_CAUSES)
+
+    def dominant_cause(self, rank: int | None = None) -> str:
+        """The cause eating the most wait time (one rank or overall)."""
+        row = self.per_rank[rank] if rank is not None else self.totals()
+        if not row or all(v <= 0 for v in row.values()):
+            return "none"
+        return max(row.items(), key=lambda kv: kv[1])[0]
+
+    def to_dict(self) -> dict:
+        return {
+            "nranks": self.nranks,
+            "totals": self.totals(),
+            "per_rank": [dict(r) for r in self.per_rank],
+            "phases": {k: dict(v) for k, v in self.phases.items()},
+            "hideable_wait_seconds": self.hideable_wait,
+            "total_wait_seconds": self.total_wait,
+            "dominant_cause": self.dominant_cause(),
+            "queued_transfers": self.queued_transfers,
+            "queued_peak": self.queued_peak,
+        }
+
+
+def _phase_windows(result: SimResult) -> list[tuple[str, float, float]]:
+    """Phase windows from rank 0's ``iteration`` events (else one)."""
+    marks = result.event_times("iteration", rank=0)
+    if len(marks) < 1:
+        return [("whole run", 0.0, max(result.duration, 0.0))]
+    windows = []
+    for i, (t, v) in enumerate(marks):
+        end = marks[i + 1][0] if i + 1 < len(marks) else result.duration
+        windows.append((f"iter {v}", t, end))
+    if marks[0][0] > _EPS:
+        windows.insert(0, ("startup", 0.0, marks[0][0]))
+    return windows
+
+
+def attribute(result: SimResult, collector: InsightCollector) -> WaitAttribution:
+    """Fold one replay's analysis events into attribution tables."""
+    nranks = result.nranks
+    per_rank: list[dict[str, float]] = [
+        {c: 0.0 for c in CAUSES} for _ in range(nranks)
+    ]
+    segments: list[WaitSegment] = []
+    for rank, label, t0, t1, trs in collector.waits:
+        for seg in classify_wait(label, t0, t1, trs,
+                                 collector.queue_cause, rank):
+            per_rank[rank][seg.cause] += seg.span
+            segments.append(seg)
+    segments.sort(key=lambda s: (s.t0, s.rank))
+
+    phases: dict[str, dict[str, float]] = {}
+    for name, lo, hi in _phase_windows(result):
+        row: dict[str, float] = defaultdict(float)
+        for seg in segments:
+            a, b = max(seg.t0, lo), min(seg.t1, hi)
+            if b > a:
+                row[seg.cause] += b - a
+        phases[name] = dict(row)
+
+    return WaitAttribution(
+        nranks=nranks,
+        per_rank=per_rank,
+        segments=segments,
+        phases=phases,
+        queued_transfers=collector.queued_total,
+        queued_peak=collector.queued_peak,
+    )

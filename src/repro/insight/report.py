@@ -1,0 +1,342 @@
+"""Renderers of :class:`~repro.insight.explain.Explanation`.
+
+Three faces of one analysis:
+
+* :func:`render_text` — the terminal report ``repro-explain`` prints;
+* :func:`to_json` — the machine-readable document (validated against
+  ``docs/schema/repro-explain.schema.json`` in CI);
+* :func:`render_html` — a self-contained page embedding the SVG
+  timelines of every variant, the attribution tables, the scorecard,
+  and the critical-path breakdown: the artifact to attach to a ticket
+  when arguing about why a code does not overlap.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import math
+
+from .attribution import CAUSES, WaitAttribution
+from .explain import Explanation
+
+__all__ = ["render_html", "render_text", "to_json"]
+
+#: JSON document identifier (bump on breaking changes).
+SCHEMA_ID = "repro-explain/1"
+
+#: Short column headers of the cause vocabulary.
+_CAUSE_SHORT = {
+    "late_sender": "late-snd",
+    "dependency_chain": "dep-chain",
+    "bus_contention": "bus",
+    "injection_port": "port-out",
+    "endpoint_port": "port-in",
+    "transfer": "transfer",
+    "collective": "collectiv",
+    "unresolved": "unresolv",
+}
+
+
+def _fmt_ms(x: float) -> str:
+    return f"{x * 1e3:.3f}"
+
+
+def _fmt_frac(x: float) -> str:
+    return "  n/a" if (x != x) else f"{100 * x:5.1f}"
+
+
+# ---------------------------------------------------------------------- #
+# Text
+# ---------------------------------------------------------------------- #
+def _attribution_table(attr: WaitAttribution, top_ranks: int = 8) -> str:
+    """Rank x cause seconds table (worst ``top_ranks`` ranks + total)."""
+    header = f"{'rank':>6} " + " ".join(
+        f"{_CAUSE_SHORT[c]:>9}" for c in CAUSES
+    ) + f" {'total ms':>9}"
+    order = sorted(range(attr.nranks), key=attr.rank_total, reverse=True)
+    lines = [header]
+    for rank in order[:top_ranks]:
+        row = attr.per_rank[rank]
+        cells = " ".join(f"{row[c] * 1e3:>9.3f}" for c in CAUSES)
+        lines.append(f"{rank:>6} {cells} {attr.rank_total(rank) * 1e3:>9.3f}")
+    if attr.nranks > top_ranks:
+        lines.append(f"{'...':>6} ({attr.nranks - top_ranks} more ranks)")
+    totals = attr.totals()
+    cells = " ".join(f"{totals[c] * 1e3:>9.3f}" for c in CAUSES)
+    lines.append(f"{'all':>6} {cells} {attr.total_wait * 1e3:>9.3f}")
+    return "\n".join(lines)
+
+
+def _phase_table(attr: WaitAttribution, max_phases: int = 12) -> str:
+    lines = [f"{'phase':>10} {'dominant cause':>16} {'wait ms':>9}"]
+    shown = list(attr.phases.items())[:max_phases]
+    for name, row in shown:
+        total = sum(row.values())
+        dom = (max(row.items(), key=lambda kv: kv[1])[0]
+               if row and total > 0 else "none")
+        lines.append(f"{name:>10} {dom:>16} {total * 1e3:>9.3f}")
+    if len(attr.phases) > max_phases:
+        lines.append(f"{'...':>10} ({len(attr.phases) - max_phases} "
+                     "more phases)")
+    return "\n".join(lines)
+
+
+def render_text(expl: Explanation, top_ranks: int = 8,
+                per_phase: bool = True) -> str:
+    """The full terminal report."""
+    out: list[str] = []
+    name = expl.app or "trace"
+    out.append(f"== repro-explain: {name}, {expl.nranks} ranks, "
+               f"{expl.chunks} chunks ==")
+    durations = ", ".join(
+        f"{v} {expl.results[v].duration * 1e3:.3f} ms"
+        for v in ("original", "real", "ideal") if v in expl.results
+    )
+    out.append(f"makespans: {durations}")
+    for variant, sc in expl.scorecards.items():
+        out.append(
+            f"{variant:>8}: speedup {sc.speedup:.4f}  "
+            f"attained overlap {_fmt_frac(sc.attained_fraction)}%  "
+            f"attainable bound {_fmt_frac(sc.attainable_bound)}%  "
+            f"realized {_fmt_frac(sc.realized_share)}%"
+        )
+    out.append("")
+    for variant in ("original", "real", "ideal"):
+        attr = expl.attribution.get(variant)
+        if attr is None:
+            continue
+        out.append(f"-- wait attribution ({variant}) "
+                   f"[dominant: {attr.dominant_cause()}] --")
+        out.append(_attribution_table(attr, top_ranks=top_ranks))
+        out.append("")
+    if "real" in expl.attribution:
+        out.append("-- recovered per cause (original - real, ms) --")
+        for cause, delta in sorted(expl.cause_delta.items(),
+                                   key=lambda kv: -kv[1]):
+            if abs(delta) > 1e-12:
+                out.append(f"  {cause:<18} {delta * 1e3:>+10.3f}")
+        out.append("")
+    if per_phase and "original" in expl.attribution:
+        out.append("-- per-phase waits (original) --")
+        out.append(_phase_table(expl.attribution["original"]))
+        out.append("")
+    for variant, bd in expl.critical.items():
+        if not bd:
+            continue
+        total = sum(bd.values()) or 1.0
+        parts = "  ".join(
+            f"{k} {_fmt_ms(v)}ms ({100 * v / total:.0f}%)"
+            for k, v in sorted(bd.items(), key=lambda kv: -kv[1])
+        )
+        out.append(f"critical path ({variant}): {parts}")
+    for w in expl.warnings:
+        out.append(f"WARNING: {w}")
+    out.append("")
+    out.append(f"verdict: {expl.verdict}")
+    return "\n".join(out)
+
+
+# ---------------------------------------------------------------------- #
+# JSON
+# ---------------------------------------------------------------------- #
+def to_json(expl: Explanation) -> dict:
+    """The schema'd machine-readable document (plain data, JSON-safe)."""
+    m = expl.machine
+
+    def _num(x):
+        if x is None:
+            return None
+        return None if (isinstance(x, float) and (x != x or math.isinf(x))) \
+            else x
+
+    doc = {
+        "schema": SCHEMA_ID,
+        "app": expl.app,
+        "nranks": expl.nranks,
+        "chunks": expl.chunks,
+        "machine": {
+            "bandwidth_mbps": m.bandwidth_mbps,
+            "latency": m.latency,
+            "buses": m.buses,
+            "input_ports": m.input_ports,
+            "output_ports": m.output_ports,
+            "eager_threshold": m.eager_threshold,
+        },
+        "durations": {
+            v: expl.results[v].duration for v in expl.results
+        },
+        "speedups": {
+            v: _num(sc.speedup) for v, sc in expl.scorecards.items()
+        },
+        "scorecards": {
+            v: sc.to_dict() for v, sc in expl.scorecards.items()
+        },
+        "attribution": {
+            v: attr.to_dict() for v, attr in expl.attribution.items()
+        },
+        "critical": {v: dict(bd) for v, bd in expl.critical.items()},
+        "patterns": {},
+        "warnings": list(expl.warnings),
+        "verdict": expl.verdict,
+    }
+    sc = expl.scorecards.get("real") or expl.scorecards.get("ideal")
+    if sc is not None:
+        doc["patterns"] = {
+            "production": {k: _num(v) for k, v in
+                           vars(sc.production).items()},
+            "consumption": {k: _num(v) for k, v in
+                            vars(sc.consumption).items()},
+        }
+    return doc
+
+
+# ---------------------------------------------------------------------- #
+# HTML
+# ---------------------------------------------------------------------- #
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2em;
+       max-width: 1080px; color: #1a1a1a; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.6em; }
+table { border-collapse: collapse; font-size: 0.85em; margin: 0.6em 0; }
+th, td { border: 1px solid #ccc; padding: 3px 8px; text-align: right; }
+th { background: #f0f0f0; }
+td.name, th.name { text-align: left; }
+.verdict { background: #eef6ee; border-left: 4px solid #76b043;
+           padding: 0.8em 1em; margin: 1em 0; }
+.warning { background: #fdf3e3; border-left: 4px solid #e8b54d;
+           padding: 0.5em 1em; margin: 0.5em 0; }
+.timeline { overflow-x: auto; border: 1px solid #eee; margin: 0.5em 0; }
+.small { color: #666; font-size: 0.85em; }
+"""
+
+
+def _html_attr_table(attr: WaitAttribution, top_ranks: int) -> str:
+    rows = ["<tr><th class=name>rank</th>" + "".join(
+        f"<th>{_CAUSE_SHORT[c]}</th>" for c in CAUSES
+    ) + "<th>total ms</th></tr>"]
+    order = sorted(range(attr.nranks), key=attr.rank_total, reverse=True)
+    for rank in order[:top_ranks]:
+        row = attr.per_rank[rank]
+        cells = "".join(f"<td>{row[c] * 1e3:.3f}</td>" for c in CAUSES)
+        rows.append(f"<tr><td class=name>{rank}</td>{cells}"
+                    f"<td>{attr.rank_total(rank) * 1e3:.3f}</td></tr>")
+    totals = attr.totals()
+    cells = "".join(f"<td>{totals[c] * 1e3:.3f}</td>" for c in CAUSES)
+    rows.append(f"<tr><td class=name><b>all</b></td>{cells}"
+                f"<td><b>{attr.total_wait * 1e3:.3f}</b></td></tr>")
+    return "<table>" + "".join(rows) + "</table>"
+
+
+def _occupancy_svg(profile: list[float], width: int = 640,
+                   height: int = 60) -> str:
+    """Inline bar sparkline of the bus-occupancy profile."""
+    if not profile or max(profile) <= 0:
+        return "<p class=small>(no network activity)</p>"
+    peak = max(profile)
+    bar_w = width / len(profile)
+    bars = []
+    for i, v in enumerate(profile):
+        h = v / peak * (height - 12)
+        bars.append(
+            f'<rect x="{i * bar_w:.1f}" y="{height - h:.1f}" '
+            f'width="{max(bar_w - 1, 1):.1f}" height="{h:.1f}" '
+            f'fill="#2f7ed8"><title>{v:.2f} active</title></rect>'
+        )
+    return (f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+            f'height="{height}">{"".join(bars)}'
+            f'<text x="2" y="10" font-size="10">peak {peak:.1f} '
+            f'concurrent transfers</text></svg>')
+
+
+def render_html(expl: Explanation, top_ranks: int = 16,
+                timeline_width: int = 860) -> str:
+    """Self-contained HTML deep-analysis report."""
+    from ..paraver.svg import render_svg
+
+    e = _html.escape
+    name = expl.app or "trace"
+    parts = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        f"<title>repro-explain: {e(name)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>repro-explain — {e(name)}, {expl.nranks} ranks, "
+        f"{expl.chunks} chunks</h1>",
+        f"<div class=verdict><b>Verdict.</b> {e(expl.verdict)}</div>",
+    ]
+    for w in expl.warnings:
+        parts.append(f"<div class=warning>{e(w)}</div>")
+
+    parts.append("<h2>Overlap scorecard</h2><table><tr>"
+                 "<th class=name>variant</th><th>makespan ms</th>"
+                 "<th>speedup</th><th>attained %</th>"
+                 "<th>attainable bound %</th><th>realized %</th></tr>")
+    base = expl.results.get("original")
+    if base is not None:
+        parts.append(f"<tr><td class=name>original</td>"
+                     f"<td>{base.duration * 1e3:.3f}</td><td>1.0000</td>"
+                     "<td>-</td><td>-</td><td>-</td></tr>")
+    for variant, sc in expl.scorecards.items():
+        res = expl.results[variant]
+        parts.append(
+            f"<tr><td class=name>{e(variant)}</td>"
+            f"<td>{res.duration * 1e3:.3f}</td><td>{sc.speedup:.4f}</td>"
+            f"<td>{_fmt_frac(sc.attained_fraction)}</td>"
+            f"<td>{_fmt_frac(sc.attainable_bound)}</td>"
+            f"<td>{_fmt_frac(sc.realized_share)}</td></tr>"
+        )
+    parts.append("</table>")
+
+    for variant in ("original", "real", "ideal"):
+        res = expl.results.get(variant)
+        if res is None:
+            continue
+        parts.append(f"<h2>Timeline — {e(variant)}</h2>")
+        parts.append('<div class=timeline>')
+        parts.append(render_svg(res, width=timeline_width,
+                                title=f"{name} / {variant}"))
+        parts.append("</div>")
+        attr = expl.attribution.get(variant)
+        if attr is not None:
+            parts.append(
+                f"<p class=small>dominant wait cause: "
+                f"<b>{e(attr.dominant_cause())}</b>; "
+                f"{attr.queued_transfers} transfers queued "
+                f"(peak queue {attr.queued_peak})</p>"
+            )
+            parts.append(_html_attr_table(attr, top_ranks))
+        col = expl.collectors.get(variant)
+        if col is not None:
+            parts.append("<p class=small>bus occupancy over simulated "
+                         "time:</p>")
+            parts.append(_occupancy_svg(
+                col.occupancy_profile(96, res.duration)))
+
+    if any(expl.critical.values()):
+        parts.append("<h2>Critical-path breakdown</h2><table><tr>"
+                     "<th class=name>variant</th>" + "".join(
+                         f"<th>{e(k)} ms</th>" for k in
+                         ("compute", "wire", "queue", "latency",
+                          "collective", "idle")) + "</tr>")
+        for variant, bd in expl.critical.items():
+            if not bd:
+                continue
+            cells = "".join(
+                f"<td>{bd.get(k, 0.0) * 1e3:.3f}</td>"
+                for k in ("compute", "wire", "queue", "latency",
+                          "collective", "idle"))
+            parts.append(f"<tr><td class=name>{e(variant)}</td>{cells}</tr>")
+        parts.append("</table>")
+
+    if "real" in expl.attribution:
+        parts.append("<h2>Recovered wait time per cause "
+                     "(original &minus; real)</h2><table>"
+                     "<tr><th class=name>cause</th><th>ms</th></tr>")
+        for cause, delta in sorted(expl.cause_delta.items(),
+                                   key=lambda kv: -kv[1]):
+            if abs(delta) > 1e-12:
+                parts.append(f"<tr><td class=name>{e(cause)}</td>"
+                             f"<td>{delta * 1e3:+.3f}</td></tr>")
+        parts.append("</table>")
+
+    parts.append("</body></html>")
+    return "\n".join(parts)

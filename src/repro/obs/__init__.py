@@ -40,10 +40,12 @@ from .metrics import (
 )
 from .spans import SpanRecord, disable, enable, flush, is_enabled, span, traced
 from .export import (
+    insight_to_chrome,
     metrics_table,
     span_summary_table,
     spans_to_chrome,
     write_chrome_trace,
+    write_insight_trace,
     write_metrics,
 )
 from .logs import configure as configure_logging
@@ -66,6 +68,7 @@ __all__ = [
     "get_logger",
     "get_registry",
     "git_revision",
+    "insight_to_chrome",
     "is_enabled",
     "merge_counter_totals",
     "metrics_table",
@@ -76,5 +79,6 @@ __all__ = [
     "traced",
     "worker_config",
     "write_chrome_trace",
+    "write_insight_trace",
     "write_metrics",
 ]

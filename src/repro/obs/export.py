@@ -22,12 +22,17 @@ from pathlib import Path
 from .metrics import MetricsRegistry
 
 __all__ = [
-    "metrics_table", "span_summary_table", "spans_to_chrome",
-    "write_chrome_trace", "write_metrics",
+    "insight_to_chrome", "metrics_table", "span_summary_table",
+    "spans_to_chrome", "write_chrome_trace", "write_insight_trace",
+    "write_metrics",
 ]
 
 #: Synthetic thread id of the simulated-time overlay track.
 _SIM_TID = 999_999
+
+#: Synthetic process id base of the wait-attribution overlay tracks
+#: (one Perfetto process per analyzed replay variant, counting down).
+INSIGHT_PID = 999_998
 
 
 def _as_dicts(span_records) -> list[dict]:
@@ -93,6 +98,67 @@ def write_chrome_trace(path: str | Path, span_records,
     """Write the Perfetto-loadable trace JSON; returns the path."""
     path = Path(path)
     path.write_text(json.dumps(spans_to_chrome(span_records, sim_overlay)))
+    return path
+
+
+def insight_to_chrome(tracks) -> dict:
+    """Chrome trace of wait-attribution overlays on *simulated* time.
+
+    ``tracks`` is an iterable of ``(label, attribution, collector)``
+    triples — a :class:`repro.insight.WaitAttribution` plus its
+    optional :class:`repro.insight.InsightCollector` (duck-typed: this
+    module stays import-independent of :mod:`repro.insight`).  Each
+    triple becomes one Perfetto process (pid counting down from
+    :data:`INSIGHT_PID`) holding
+
+    * one thread track per rank painting its cause-labelled wait
+      slices, and
+    * ``active transfers`` / ``queued transfers`` counter tracks from
+      the collector's occupancy timeline.
+
+    Timestamps are simulated seconds rendered as microseconds, so the
+    overlay aligns with the simulated-time track
+    :func:`spans_to_chrome` emits.
+    """
+    events: list[dict] = []
+    for i, (label, attr, col) in enumerate(tracks):
+        pid = INSIGHT_PID - i
+        events.append({
+            "ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+            "args": {"name": f"insight: {label} (simulated time)"},
+        })
+        ranks_seen: set[int] = set()
+        for seg in attr.segments:
+            tid = seg.rank + 1
+            if seg.rank not in ranks_seen:
+                ranks_seen.add(seg.rank)
+                events.append({
+                    "ph": "M", "pid": pid, "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": f"rank {seg.rank} wait causes"},
+                })
+            events.append({
+                "ph": "X", "pid": pid, "tid": tid, "name": seg.cause,
+                "cat": "wait", "ts": seg.t0 * 1e6,
+                "dur": (seg.t1 - seg.t0) * 1e6,
+                "args": {"state": seg.state, "src": seg.src,
+                         "size": seg.size},
+            })
+        if col is not None:
+            for t, active, queued in col.occupancy:
+                events.append({
+                    "ph": "C", "pid": pid, "tid": 0,
+                    "name": "network occupancy", "ts": t * 1e6,
+                    "args": {"active": active, "queued": queued},
+                })
+    events.sort(key=lambda e: (e["ph"] != "M", e.get("ts", 0.0)))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_insight_trace(path: str | Path, tracks) -> Path:
+    """Write the wait-attribution overlay trace JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(insight_to_chrome(tracks)))
     return path
 
 

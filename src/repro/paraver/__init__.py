@@ -1,7 +1,13 @@
 """Timeline visualization and profiling (the framework's Paraver stage)."""
 
 from .compare import ExecutionComparison, compare
-from .critical import CriticalPath, PathSegment, critical_path, render_path
+from .critical import (
+    CriticalPath,
+    CriticalPathError,
+    PathSegment,
+    critical_path,
+    render_path,
+)
 from .gantt import STATE_CHARS, render_comparison, render_gantt
 from .histogram import (
     Histogram,
@@ -16,7 +22,8 @@ from .svg import STATE_COLORS, render_svg, write_svg
 from .timeline import iteration_bounds, sample_states
 
 __all__ = [
-    "CommStats", "CriticalPath", "ExecutionComparison", "Histogram",
+    "CommStats", "CriticalPath", "CriticalPathError", "ExecutionComparison",
+    "Histogram",
     "PathSegment", "STATE_CHARS", "STATE_COLORS", "critical_path", "render_path",
     "flight_time_histogram", "message_size_histogram", "render_heatmap",
     "render_histogram", "state_duration_histogram",

@@ -21,9 +21,30 @@ from dataclasses import dataclass, field
 
 from ..dimemas.results import MessageFlight, SimResult
 
-__all__ = ["CriticalPath", "PathSegment", "critical_path", "render_path"]
+__all__ = ["CriticalPath", "CriticalPathError", "PathSegment",
+           "critical_path", "render_path"]
 
 _EPS = 1e-12
+
+
+class CriticalPathError(RuntimeError):
+    """The backward walk exhausted its hop budget before reaching t=0.
+
+    Raised instead of silently returning a truncated path (a truncated
+    breakdown understates every category and is indistinguishable from
+    a complete one).  Carries the partial :attr:`path` walked so far
+    and the exhausted :attr:`max_hops` budget so callers can still
+    report what was covered.
+    """
+
+    def __init__(self, path: "CriticalPath", max_hops: int):
+        self.path = path
+        self.max_hops = max_hops
+        super().__init__(
+            f"critical-path walk exhausted {max_hops} message hops "
+            f"({path.length * 1e3:.3f} ms walked, incomplete); raise "
+            f"max_hops or inspect .path for the partial chain"
+        )
 
 
 @dataclass(frozen=True)
@@ -83,6 +104,10 @@ def critical_path(result: SimResult, max_hops: int = 100_000) -> CriticalPath:
     message release ends is decomposed into the sender-side pieces:
     queueing (send -> wire start), wire occupancy, and latency, after
     which the walk continues on the sending rank at the send time.
+
+    Raises :class:`CriticalPathError` when ``max_hops`` message hops
+    are exhausted before the walk reaches time zero — the partial path
+    rides on the exception rather than masquerading as a complete one.
     """
     path = CriticalPath()
     rank = max(range(result.nranks), key=lambda r: result.rank_end[r])
@@ -134,6 +159,8 @@ def critical_path(result: SimResult, max_hops: int = 100_000) -> CriticalPath:
         rank = msg.src
         t = msg.t_send
 
+    if t > _EPS and path.hops >= max_hops:
+        raise CriticalPathError(path, max_hops)
     return path
 
 

@@ -17,11 +17,16 @@ __all__ = ["CommStats", "comm_stats", "profile_table", "state_matrix"]
 
 
 def state_matrix(result: SimResult) -> tuple[np.ndarray, list[str]]:
-    """Seconds per (rank, state) as a dense matrix plus the state order."""
+    """Seconds per (rank, state) as a dense matrix plus the state order.
+
+    Well-defined on degenerate results: a rank with no recorded state
+    list contributes a zero row, and a zero-rank result yields an empty
+    matrix rather than raising.
+    """
     names = [s for s in STATE_NAMES if s != "Idle"]
     mat = np.zeros((result.nranks, len(names)))
     index = {n: j for j, n in enumerate(names)}
-    for rank in range(result.nranks):
+    for rank in range(min(result.nranks, len(result.states))):
         for s, t0, t1 in result.states[rank]:
             j = index.get(s)
             if j is not None:
@@ -44,7 +49,9 @@ def profile_table(result: SimResult, percent: bool = True) -> str:
             )
         lines.append(f"{rank:>6} " + " ".join(cells))
     tot = mat.sum(axis=0)
-    tot_denom = denom * result.nranks
+    # nranks can be zero (empty trace replayed): keep the totals row
+    # well-defined zeros instead of dividing by zero.
+    tot_denom = denom * result.nranks if result.nranks > 0 else 1.0
     cells = [
         f"{100 * v / tot_denom:>13.2f}%" if percent else f"{v:>14.6f}"
         for v in tot

@@ -1,0 +1,128 @@
+"""Minimal JSON Schema validator (no third-party dependencies).
+
+CI validates ``repro-explain --json`` output against
+``docs/schema/repro-explain.schema.json`` without pulling in the
+``jsonschema`` package.  Supports the draft-07 subset the checked-in
+schemas actually use:
+
+``type`` (including union lists), ``properties``, ``required``,
+``additionalProperties`` (schema form), ``items``, ``enum``,
+``minimum``, ``maximum``, ``minItems``, ``maxItems``.
+
+Anything outside that subset is ignored rather than mis-enforced, so
+the validator can only under-approximate, never reject a valid
+document.
+
+Usage::
+
+    python tools/validate_schema.py SCHEMA.json DOC.json [DOC.json ...]
+
+Exit status 0 when every document validates; 1 with one
+``path: message`` line per violation otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+__all__ = ["validate"]
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _type_ok(value, names) -> bool:
+    if isinstance(names, str):
+        names = [names]
+    for name in names:
+        py = _TYPES.get(name)
+        if py is None:
+            continue
+        # bool is an int subclass in Python; JSON keeps them distinct.
+        if name in ("integer", "number") and isinstance(value, bool):
+            continue
+        if isinstance(value, py):
+            return True
+    return False
+
+
+def validate(doc, schema: dict, path: str = "$") -> list[str]:
+    """All violations of ``doc`` against ``schema`` (empty = valid)."""
+    errors: list[str] = []
+    t = schema.get("type")
+    if t is not None and not _type_ok(doc, t):
+        errors.append(f"{path}: expected type {t}, got "
+                      f"{type(doc).__name__}")
+        return errors  # other keywords assume the right shape
+
+    enum = schema.get("enum")
+    if enum is not None and doc not in enum:
+        errors.append(f"{path}: {doc!r} not one of {enum}")
+
+    if isinstance(doc, (int, float)) and not isinstance(doc, bool):
+        if "minimum" in schema and doc < schema["minimum"]:
+            errors.append(f"{path}: {doc} < minimum {schema['minimum']}")
+        if "maximum" in schema and doc > schema["maximum"]:
+            errors.append(f"{path}: {doc} > maximum {schema['maximum']}")
+
+    if isinstance(doc, dict):
+        for key in schema.get("required", ()):
+            if key not in doc:
+                errors.append(f"{path}: missing required property {key!r}")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties")
+        for key, value in doc.items():
+            sub = props.get(key)
+            if sub is not None:
+                errors += validate(value, sub, f"{path}.{key}")
+            elif isinstance(extra, dict):
+                errors += validate(value, extra, f"{path}.{key}")
+            elif extra is False:
+                errors.append(f"{path}: unexpected property {key!r}")
+
+    if isinstance(doc, list):
+        if "minItems" in schema and len(doc) < schema["minItems"]:
+            errors.append(f"{path}: {len(doc)} items < minItems "
+                          f"{schema['minItems']}")
+        if "maxItems" in schema and len(doc) > schema["maxItems"]:
+            errors.append(f"{path}: {len(doc)} items > maxItems "
+                          f"{schema['maxItems']}")
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for i, value in enumerate(doc):
+                errors += validate(value, items, f"{path}[{i}]")
+
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    if len(args) < 2:
+        print("usage: validate_schema.py SCHEMA.json DOC.json "
+              "[DOC.json ...]", file=sys.stderr)
+        return 2
+    schema = json.loads(Path(args[0]).read_text())
+    status = 0
+    for doc_path in args[1:]:
+        doc = json.loads(Path(doc_path).read_text())
+        errors = validate(doc, schema)
+        if errors:
+            status = 1
+            for err in errors:
+                print(f"{doc_path}: {err}", file=sys.stderr)
+        else:
+            print(f"{doc_path}: valid", file=sys.stderr)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
