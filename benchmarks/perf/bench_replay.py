@@ -10,6 +10,11 @@ Measures two things and writes them to ``BENCH_replay.json``:
   path (audit disabled leaves only dormant ``is None`` hooks in the
   hot loop), so its overhead must stay within noise of zero; the
   basic/full rows price the post-hoc integrity battery;
+* **Perturbation overhead** — the same warmed replay with platform
+  fault injection off / under a bandwidth-sag schedule.  The off row
+  builds the plain ``Network`` (no perturbation code on the path), so
+  its overhead must stay within noise of zero; the perturbed row
+  prices the ``PerturbedNetwork`` piecewise wire integration;
 * **Figure 6(a)-(c) grid wall-clock** — the speedup grid plus the
   bandwidth relaxation / equivalent-bandwidth searches, run three
   ways: serial and cold (the reference path), parallel with a cold
@@ -163,6 +168,48 @@ def bench_insight_overhead(nranks: int, repeats: int = 5,
     }
 
 
+def bench_perturb_overhead(nranks: int, repeats: int = 5,
+                           samples: int = 5) -> dict:
+    """Wall-clock of the warmed replay with perturbation off / on.
+
+    The ``off`` row replays with ``perturb=None`` — the production
+    default, which builds the plain :class:`~repro.dimemas.network.Network`
+    and never touches a perturbation code path — so its overhead must
+    stay within noise of the plain throughput path; the ``perturbed``
+    row replays under a bandwidth-sag scenario on the
+    :class:`~repro.dimemas.network.PerturbedNetwork` subclass.
+    """
+    from repro.perturb import build_scenario
+
+    exp = AppExperiment("cg", nranks=nranks)
+    trace = exp.trace("original")
+    machine = MachineConfig.paper_testbed("cg")
+    horizon = simulate(trace, machine).duration  # warms the replay plan
+    schedule = build_scenario("bandwidth-sag", horizon, seed=0)
+
+    def best(pert) -> float:
+        timings = []
+        for _ in range(max(1, samples)):
+            t0 = time.perf_counter()
+            for _ in range(repeats):
+                simulate(trace, machine, perturb=pert)
+            timings.append(time.perf_counter() - t0)
+        return min(timings)
+
+    t_off = best(None)
+    t_on = best(schedule)
+    return {
+        "app": "cg",
+        "nranks": nranks,
+        "replays": repeats,
+        "samples": samples,
+        "scenario": "bandwidth-sag",
+        "off_seconds": t_off,
+        "perturbed_seconds": t_on,
+        "perturbed_overhead_percent": 100.0 * (t_on / t_off - 1.0),
+    }
+
+
 def run_fig6_grid(
     apps: list[str],
     nranks: int,
@@ -257,6 +304,11 @@ def main(argv: list[str] | None = None) -> int:
     print(f"  off {insight['off_seconds']:.3f} s, "
           f"collecting +{insight['collecting_overhead_percent']:.1f}%")
 
+    print("perturbation overhead (off / bandwidth-sag) ...", flush=True)
+    perturb = bench_perturb_overhead(args.nranks)
+    print(f"  off {perturb['off_seconds']:.3f} s, "
+          f"perturbed +{perturb['perturbed_overhead_percent']:.1f}%")
+
     print("figure 6 grid, serial cold (jobs=1) ...", flush=True)
     serial_obs, t_serial = run_fig6_grid(apps, args.nranks, jobs=1,
                                          cache_dir=None)
@@ -292,6 +344,7 @@ def main(argv: list[str] | None = None) -> int:
         "throughput": throughput,
         "audit": audit,
         "insight": insight,
+        "perturb": perturb,
         "fig6_grid": {
             "serial_cold_seconds": t_serial,
             "parallel_cold_seconds": t_cold,

@@ -14,6 +14,10 @@ Five entry points mirror the tool chain of paper Figure 3:
 * ``repro-explain``  — deep-analyze why an application does (not)
   benefit from overlap: wait-state attribution, overlap scorecards,
   and a differential original/overlapped/ideal comparison.
+* ``repro-resilience`` — replay original vs overlapped variants across
+  a grid of injected platform faults (degraded bandwidth, outages,
+  OS noise, stragglers) and report how much of the damage overlap
+  masks (the resilience index).
 """
 
 from __future__ import annotations
@@ -36,7 +40,7 @@ from .paraver.stats import comm_stats, profile_table
 from .trace import dim, prv
 
 __all__ = ["main_analyze", "main_explain", "main_overlap", "main_report",
-           "main_simulate", "main_trace", "main_verify"]
+           "main_resilience", "main_simulate", "main_trace", "main_verify"]
 
 #: CLI exit codes for diagnosed replay failures (0 ok, 2 argparse).
 EXIT_DEADLOCK = 3
@@ -442,6 +446,14 @@ def main_explain(argv: list[str] | None = None) -> int:
     ap.add_argument("--perfetto", metavar="FILE",
                     help="write wait-cause overlay tracks as a "
                          "Perfetto-loadable trace JSON")
+    g = ap.add_argument_group("fault injection")
+    g.add_argument("--perturb", metavar="SCENARIO", default=None,
+                   help="replay on a degraded platform: a named scenario "
+                        "(see repro-resilience --list-scenarios) scaled to "
+                        "the unperturbed makespan; blocked time the faults "
+                        "cause shows up under the 'perturbation' cause")
+    g.add_argument("--perturb-seed", type=int, default=0,
+                   help="seed of the perturbation schedule (default: 0)")
     _machine_args(ap)
     _obs_args(ap)
     args = ap.parse_args(argv)
@@ -480,6 +492,17 @@ def main_explain(argv: list[str] | None = None) -> int:
         if not args.no_ideal:
             traces["ideal"], _ = ideal_transform(original,
                                                  chunks=args.chunks)
+        if args.perturb:
+            from .perturb.scenarios import SCENARIO_KINDS, build_scenario
+            if args.perturb not in SCENARIO_KINDS:
+                ap.error(f"unknown scenario {args.perturb!r} "
+                         f"(choose from {', '.join(sorted(SCENARIO_KINDS))})")
+            # Scenario windows scale to the *unperturbed* makespan, so
+            # measure it first with one pristine replay.
+            horizon = simulate(original, machine).duration
+            machine = machine.with_platform(
+                perturb=build_scenario(args.perturb, horizon,
+                                       args.perturb_seed))
         try:
             expl = explain_traces(
                 traces, machine=machine, app=app, chunks=args.chunks,
@@ -491,8 +514,14 @@ def main_explain(argv: list[str] | None = None) -> int:
             print(exc.report.render(), file=sys.stderr)
             return EXIT_DEADLOCK
         except SimulationTimeout as exc:
-            print(f"replay watchdog expired ({exc.reason}); post-mortem:",
-                  file=sys.stderr)
+            window = getattr(exc, "window", None)
+            if window is not None:
+                print(f"replay stalled under active perturbation "
+                      f"[{window}] ({exc.reason}); post-mortem:",
+                      file=sys.stderr)
+            else:
+                print(f"replay watchdog expired ({exc.reason}); "
+                      "post-mortem:", file=sys.stderr)
             print(exc.report.render(), file=sys.stderr)
             return EXIT_TIMEOUT
 
@@ -516,6 +545,112 @@ def main_explain(argv: list[str] | None = None) -> int:
             ]
             write_insight_trace(args.perfetto, tracks)
             print(f"wrote {args.perfetto}")
+    return 0
+
+
+@_interruptible
+def main_resilience(argv: list[str] | None = None) -> int:
+    """``repro-resilience [APP...]`` — how much overlap buys back.
+
+    Replays every application's original and overlapped variants on
+    the pristine platform and under each named fault scenario
+    (bandwidth sag, latency spikes, link outages, OS noise,
+    stragglers), then reports per-scenario slowdowns and the
+    resilience index — the fraction of the injected degradation the
+    overlap transform masked.  Deterministic per ``--seed``: the
+    result digest is identical across reruns and ``--jobs`` counts.
+    """
+    ap = argparse.ArgumentParser(
+        prog="repro-resilience",
+        description="Measure how much of an injected platform "
+                    "degradation communication-computation overlap "
+                    "masks.",
+    )
+    ap.add_argument("apps", nargs="*", metavar="APP",
+                    help="applications to sweep (default: the full "
+                         f"paper pool: {', '.join(sorted(APPS))})")
+    ap.add_argument("--scenarios", default=None, metavar="KIND[,KIND...]",
+                    help="comma-separated scenario subset "
+                         "(default: all)")
+    ap.add_argument("--list-scenarios", action="store_true",
+                    help="list the named scenarios and exit")
+    ap.add_argument("--seed", type=int, default=0,
+                    help="perturbation-schedule seed (default: 0)")
+    ap.add_argument("-n", "--nranks", type=int, default=8,
+                    help="ranks per application (default: 8)")
+    ap.add_argument("--chunks", type=int, default=4,
+                    help="chunks per message of the overlap transform "
+                         "(paper: 4)")
+    ap.add_argument("-j", "--jobs", type=int, default=1,
+                    help="worker processes for the replay grid "
+                         "(default: 1, serial)")
+    ap.add_argument("--cache-dir", default=None,
+                    help="persist traces and replay results here "
+                         "(perturbed replays are cache-keyed by their "
+                         "schedule digest; re-runs are nearly free)")
+    ap.add_argument("--degraded", action="store_true",
+                    help="report n/a cells instead of aborting when "
+                         "replays keep failing")
+    ap.add_argument("--json", metavar="FILE",
+                    help="write the machine-readable report "
+                         "(docs/schema/repro-resilience.schema.json)")
+    ap.add_argument("--html", metavar="FILE",
+                    help="write the self-contained HTML report")
+    _obs_args(ap)
+    args = ap.parse_args(argv)
+
+    from .experiments.parallel import ExperimentEngine, GridExecutionError
+    from .experiments.resilience import (
+        render_html, render_text, resilience_sweep, to_json,
+    )
+    from .perturb.scenarios import SCENARIO_KINDS
+
+    if args.list_scenarios:
+        from .perturb.scenarios import build_scenario
+        for kind in sorted(SCENARIO_KINDS):
+            sched = build_scenario(kind, 1.0, args.seed)
+            print(f"{kind:<15} {sched.describe()}")
+        return 0
+    apps = tuple(a.lower() for a in args.apps) or tuple(sorted(APPS))
+    unknown = sorted(set(apps) - set(APPS))
+    if unknown:
+        ap.error(f"unknown apps: {', '.join(unknown)} "
+                 f"(choose from {', '.join(sorted(APPS))})")
+    scenarios = None
+    if args.scenarios:
+        scenarios = tuple(s.strip() for s in args.scenarios.split(",")
+                          if s.strip())
+        bad = sorted(set(scenarios) - set(SCENARIO_KINDS))
+        if bad:
+            ap.error(f"unknown scenarios: {', '.join(bad)} "
+                     f"(choose from {', '.join(sorted(SCENARIO_KINDS))})")
+
+    with _observed(args, "repro-resilience"):
+        engine = ExperimentEngine(jobs=args.jobs, cache_dir=args.cache_dir,
+                                  degraded=args.degraded)
+        try:
+            report = resilience_sweep(
+                apps, scenarios=scenarios, seed=args.seed,
+                nranks=args.nranks, chunks=args.chunks, engine=engine,
+            )
+        except GridExecutionError as exc:
+            print(str(exc), file=sys.stderr)
+            print("re-run with --degraded to keep the surviving cells",
+                  file=sys.stderr)
+            return EXIT_TIMEOUT if "watchdog" in str(exc) else 1
+        finally:
+            engine.close()
+        print(render_text(report))
+        if args.json:
+            import json as _json
+            with open(args.json, "w") as fh:
+                _json.dump(to_json(report), fh, indent=1)
+                fh.write("\n")
+            print(f"wrote {args.json}")
+        if args.html:
+            with open(args.html, "w") as fh:
+                fh.write(render_html(report))
+            print(f"wrote {args.html}")
     return 0
 
 

@@ -2,12 +2,13 @@
 
 from .engine import EventLoop, SimulationStalledError, WatchdogExpired
 from .machine import MB, MachineConfig, PAPER_BANDWIDTH_MBPS, PAPER_BUSES
-from .network import Network, Transfer
+from .network import Network, PerturbedNetwork, Transfer
 from .postmortem import (
     BlockedOp,
     DeadlockError,
     DeadlockReport,
     PendingMessage,
+    PerturbationStall,
     SimulationTimeout,
 )
 from .replay import ReplayError, simulate
@@ -16,7 +17,7 @@ from .results import MessageFlight, STATE_NAMES, SimResult
 __all__ = [
     "BlockedOp", "DeadlockError", "DeadlockReport", "EventLoop", "MB",
     "MachineConfig", "MessageFlight", "Network", "PAPER_BANDWIDTH_MBPS",
-    "PAPER_BUSES", "PendingMessage", "ReplayError", "STATE_NAMES",
-    "SimResult", "SimulationStalledError", "SimulationTimeout", "Transfer",
-    "WatchdogExpired", "simulate",
+    "PAPER_BUSES", "PendingMessage", "PerturbationStall", "PerturbedNetwork",
+    "ReplayError", "STATE_NAMES", "SimResult", "SimulationStalledError",
+    "SimulationTimeout", "Transfer", "WatchdogExpired", "simulate",
 ]

@@ -85,6 +85,16 @@ class MachineConfig:
     max_sim_time:
         Watchdog: abort once the simulated clock would pass this many
         seconds (None = unlimited).
+    perturb:
+        Optional :class:`~repro.perturb.PerturbationSchedule` degrading
+        the platform over simulated time (bandwidth sag, latency
+        spikes, outages, CPU noise, stragglers).  Normalized on
+        construction: a schedule that perturbs nothing is stored as
+        ``None``, so a no-op schedule *is* the pristine platform —
+        same replay, same cache keys.  Because configs flow through
+        ``dataclasses.asdict`` into every result-cache key and
+        checkpoint journal entry, carrying the schedule here keys all
+        of those by the perturbation automatically.
     """
 
     bandwidth_mbps: float = PAPER_BANDWIDTH_MBPS
@@ -100,6 +110,10 @@ class MachineConfig:
     collective_model_factor: float = 1.0
     max_events: int | None = None
     max_sim_time: float | None = None
+    # A repro.perturb.PerturbationSchedule; typed loosely (and validated
+    # structurally below) because repro.perturb must stay importable
+    # without the simulator and vice versa.
+    perturb: object | None = None
 
     def __post_init__(self) -> None:
         if self.bandwidth_mbps <= 0:
@@ -125,6 +139,21 @@ class MachineConfig:
         if self.max_sim_time is not None and self.max_sim_time <= 0:
             raise ValueError(
                 f"max_sim_time must be positive or None, got {self.max_sim_time}"
+            )
+        if self.perturb is not None:
+            normalized = getattr(self.perturb, "normalized", None)
+            is_noop = getattr(self.perturb, "is_noop", None)
+            if not (callable(normalized) and callable(is_noop)):
+                raise ValueError(
+                    "perturb must be a PerturbationSchedule (or None), "
+                    f"got {type(self.perturb).__name__}"
+                )
+            schedule = normalized()
+            # Canonical form: zero-magnitude schedules collapse to None
+            # so the cache key and the replay are those of the pristine
+            # platform.
+            object.__setattr__(
+                self, "perturb", None if schedule.is_noop() else schedule
             )
 
     @property

@@ -26,7 +26,7 @@ from typing import Callable
 from .engine import EventLoop
 from .machine import MachineConfig
 
-__all__ = ["Network", "Transfer"]
+__all__ = ["Network", "PerturbedNetwork", "Transfer"]
 
 
 @dataclass(slots=True)
@@ -255,5 +255,207 @@ class Network:
         loop = self.loop
         t._fire_injected(loop.now)
         loop.at(loop.now + self._latency, lambda: t._fire_arrived(loop.now))
+        if self._queue:
+            self._try_start()
+
+
+class PerturbedNetwork(Network):
+    """A :class:`Network` degraded by a perturbation schedule.
+
+    Subclassing keeps the fast path provably untouched: ``simulate``
+    builds a plain :class:`Network` whenever no schedule is active, so
+    the unperturbed hot loop contains not a single perturbation branch.
+    Here, wire time is the integral of a piecewise-constant effective
+    bandwidth (degradation windows scale it, stall outages zero it),
+    restart outages abort and re-inject in-flight transfers, no
+    transfer may *start* during any outage, and latency windows add to
+    the pipeline constant at delivery time.
+
+    Everything is a pure function of ``loop.now`` and the schedule —
+    no RNG, no wall clock — so perturbed replays stay bitwise
+    deterministic.  Whenever a transfer takes longer than it would
+    have on the pristine platform, the excess seconds are reported to
+    the insight channel (:meth:`InsightCollector.note_perturbed`) so
+    wait-cause attribution can carve out exactly the slice of blocked
+    time the fault caused.
+    """
+
+    def __init__(self, loop: EventLoop, nranks: int, cfg: MachineConfig,
+                 schedule) -> None:
+        super().__init__(loop, nranks, cfg)
+        self.schedule = schedule
+        #: Piecewise wire profile: (t0, t1, factor) with stall outages
+        #: as factor 0.0.  Restart outages are kept apart — they do not
+        #: slow the integral, they void the whole attempt.
+        profile = [(w.t0, w.t1, w.factor) for w in schedule.bandwidth]
+        profile += [
+            (w.t0, w.t1, 0.0)
+            for w in schedule.outages if w.semantics == "stall"
+        ]
+        self._profile = sorted(profile)
+        self._restarts = sorted(
+            (w.t0, w.t1)
+            for w in schedule.outages if w.semantics == "restart"
+        )
+        self._outage_spans = sorted((w.t0, w.t1) for w in schedule.outages)
+        self._latency_windows = sorted(
+            (w.t0, w.t1, w.extra) for w in schedule.latency
+        )
+        #: Outage ends with a pending wake-up already scheduled.
+        self._woken: set[float] = set()
+        #: Total extra seconds the schedule injected (diagnostics).
+        self.perturb_excess_seconds = 0.0
+
+    # -- schedule lookups ---------------------------------------------- #
+    def _extra_latency(self, t: float) -> float:
+        for w0, w1, extra in self._latency_windows:
+            if w0 <= t < w1:
+                return extra
+        return 0.0
+
+    def _outage_until(self, t: float) -> float | None:
+        """End of the outage covering ``t`` (any semantics), or None."""
+        for w0, w1 in self._outage_spans:
+            if w0 <= t < w1:
+                return w1
+        return None
+
+    def _note_excess(self, t: Transfer, seconds: float) -> None:
+        self.perturb_excess_seconds += seconds
+        if self.insight is not None:
+            self.insight.note_perturbed(t, seconds)
+
+    # -- wire-time integration ----------------------------------------- #
+    def _integrate(self, start: float, occupancy: float) -> float:
+        """Finish time of ``occupancy`` effective wire-seconds starting
+        at ``start`` under degradation and stall windows."""
+        t = start
+        remaining = occupancy
+        for w0, w1, factor in self._profile:
+            if w1 <= t:
+                continue
+            if w0 > t:
+                gap = w0 - t
+                if remaining <= gap:
+                    return t + remaining
+                remaining -= gap
+                t = w0
+            if factor <= 0.0:
+                # Stalled: the clock runs, the payload does not.
+                t = w1
+            else:
+                cap = (w1 - t) * factor
+                if remaining <= cap:
+                    return t + remaining / factor
+                remaining -= cap
+                t = w1
+        return t + remaining
+
+    def _wire_finish(self, start: float, occupancy: float) -> float:
+        """Injection-complete time including restart-outage retries."""
+        t = start
+        while True:
+            nxt = None
+            for o0, o1 in self._restarts:
+                if o1 > t:
+                    nxt = (o0, o1)
+                    break
+            if nxt is not None and nxt[0] <= t:
+                # Retry landed inside a reset window (fresh starts are
+                # blocked by _resources_free, so only retries get here).
+                t = nxt[1]
+                continue
+            finish = self._integrate(t, occupancy)
+            if nxt is None or finish <= nxt[0]:
+                return finish
+            # In flight when the link reset: abort, re-inject after.
+            t = nxt[1]
+
+    # -- Network overrides --------------------------------------------- #
+    def submit(self, transfer: Transfer) -> None:
+        if transfer.size == 0 or transfer.src == transfer.dst:
+            # Pure sync / self-message bypasses buses and ports but not
+            # the wire pipeline, so latency spikes still apply.
+            loop = self.loop
+            now = loop.now
+            transfer.ready_time = now
+            transfer.start_time = now
+            loop.at(now, lambda: transfer._fire_injected(loop.now))
+            if transfer.src == transfer.dst:
+                lat = 0.0
+            else:
+                extra = self._extra_latency(now)
+                lat = self._latency + extra
+                if extra > 0.0:
+                    self._note_excess(transfer, extra)
+            loop.at(now + lat, lambda: transfer._fire_arrived(loop.now))
+            return
+        super().submit(transfer)
+
+    def _resources_free(self, t: Transfer) -> bool:
+        if self._outage_spans and self._outage_until(self.loop.now) is not None:
+            return False
+        return super()._resources_free(t)
+
+    def _queue_cause(self, t: Transfer) -> str:
+        if self._outage_spans and self._outage_until(self.loop.now) is not None:
+            return "perturbation"
+        return super()._queue_cause(t)
+
+    def _try_start(self) -> None:
+        super()._try_start()
+        if self._queue:
+            until = self._outage_until(self.loop.now)
+            if until is not None and until not in self._woken:
+                # Nothing else is guaranteed to poke the queue while the
+                # link is down — wake it the instant the outage lifts.
+                self._woken.add(until)
+                self.loop.at(until, self._try_start)
+
+    def _start(self, t: Transfer) -> None:
+        self._free_buses -= 1
+        self._free_out[t.src] -= 1
+        self._free_in[t.dst] -= 1
+        active = self._active + 1
+        self._active = active
+        if active > self.peak_active:
+            self.peak_active = active
+        if self.auditor is not None:
+            self.auditor.check_occupancy(self, t)
+        loop = self.loop
+        t.start_time = loop.now
+        if self.insight is not None:
+            self.insight.note_start(loop.now, active, len(self._queue))
+        occupancy = t.size / self._bandwidth
+        finish = self._wire_finish(loop.now, occupancy)
+        elapsed = finish - loop.now
+        # Wall-on-the-wire, not nominal occupancy: a stalled or slowed
+        # transfer holds its bus and ports the whole time.
+        self.busy_seconds += elapsed
+        excess = elapsed - occupancy
+        if excess > 0.0:
+            self._note_excess(t, excess)
+        loop.at(finish, lambda: self._finish_injection(t))
+
+    def _finish_injection(self, t: Transfer) -> None:
+        self._free_buses += 1
+        self._free_out[t.src] += 1
+        self._free_in[t.dst] += 1
+        self._active -= 1
+        if self.auditor is not None:
+            self.auditor.check_release(self, t)
+        if self.insight is not None:
+            self.insight.note_release(
+                self.loop.now, self._active, len(self._queue)
+            )
+        loop = self.loop
+        t._fire_injected(loop.now)
+        extra = self._extra_latency(loop.now)
+        if extra > 0.0:
+            self._note_excess(t, extra)
+        loop.at(
+            loop.now + self._latency + extra,
+            lambda: t._fire_arrived(loop.now),
+        )
         if self._queue:
             self._try_start()

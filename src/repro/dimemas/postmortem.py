@@ -32,6 +32,7 @@ __all__ = [
     "DeadlockError",
     "DeadlockReport",
     "PendingMessage",
+    "PerturbationStall",
     "ReplayError",
     "SimulationTimeout",
     "build_report",
@@ -207,12 +208,35 @@ class SimulationTimeout(ReplayError):
     names which budget tripped.
     """
 
-    def __init__(self, reason: str, report: DeadlockReport):
+    def __init__(self, reason: str, report: DeadlockReport, detail: str = ""):
         self.reason = reason
         self.report = report
+        extra = f" {detail}" if detail else ""
         super().__init__(
-            f"simulation watchdog expired ({reason}) at t={report.sim_time:.9g}s "
+            f"simulation watchdog expired ({reason}){extra} "
+            f"at t={report.sim_time:.9g}s "
             f"after {report.events_executed} event(s):\n" + report.render()
+        )
+
+
+class PerturbationStall(SimulationTimeout):
+    """The watchdog tripped while a platform perturbation was active.
+
+    An outage or degradation window can *legitimately* stall a replay
+    past its simulated-time budget; blaming a generic runaway would
+    send the user chasing a phantom bug.  ``.window`` names the
+    perturbation window the simulation was stuck in (or headed into)
+    when the budget ran out, and the message carries it too — the
+    post-mortem explains the fault that caused it.  Subclasses
+    :class:`SimulationTimeout`, so every existing handler and exit-code
+    mapping keeps working.
+    """
+
+    def __init__(self, reason: str, report: DeadlockReport, window: str):
+        self.window = window
+        super().__init__(
+            reason, report,
+            detail=f"while platform perturbation [{window}] was active",
         )
 
 

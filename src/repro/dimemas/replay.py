@@ -82,16 +82,23 @@ from ..trace.records import CollOp, GlobalOp, TraceSet
 from .collectives import collective_cost
 from .engine import EventLoop, WatchdogExpired
 from .machine import MachineConfig
-from .network import Network, Transfer
+from .network import Network, PerturbedNetwork, Transfer
 from .postmortem import (
     DeadlockError,
+    PerturbationStall,
     ReplayError,
     SimulationTimeout,
     build_report,
 )
 from .results import MessageFlight, SimResult
 
-__all__ = ["DeadlockError", "ReplayError", "SimulationTimeout", "simulate"]
+__all__ = [
+    "DeadlockError",
+    "PerturbationStall",
+    "ReplayError",
+    "SimulationTimeout",
+    "simulate",
+]
 
 _EPS = 1e-15
 
@@ -138,7 +145,7 @@ class _RankRunner:
     __slots__ = (
         "sim", "rank", "ops", "durs", "events_at", "waits_at", "colls_at",
         "sizes", "rvs", "send_tr", "recv_tr", "n",
-        "idx", "now", "finished", "states", "events",
+        "idx", "now", "finished", "states", "events", "cpu_ratio",
         "_block_label", "_block_start", "_aud", "_ins", "_block_trs",
     )
 
@@ -148,6 +155,19 @@ class _RankRunner:
         plan = sim.plan
         self.ops = plan.ops[rank]
         self.durs = plan.durs[rank]
+        #: Effective compute scaling of this rank.  Equals the platform
+        #: cpu_ratio unless a perturbation schedule marks the rank as a
+        #: straggler; CPU noise likewise swaps in a stretched *copy* of
+        #: the plan's burst durations (the shared plan is never touched).
+        self.cpu_ratio = sim.cfg.cpu_ratio
+        pert = sim.pert
+        if pert is not None:
+            self.cpu_ratio = sim.cfg.cpu_ratio * pert.cpu_factor(rank)
+            noisy = pert.scale_cpu_durations(
+                rank, self.ops, self.durs, _OP_CPU
+            )
+            if noisy is not None:
+                self.durs = noisy
         self.events_at = plan.events[rank]
         self.waits_at = plan.waits[rank]
         self.colls_at = plan.colls[rank]
@@ -230,7 +250,7 @@ class _RankRunner:
         sim = self.sim
         loop = sim.loop
         network_submit = sim.network.submit
-        cpu_ratio = sim.cfg.cpu_ratio
+        cpu_ratio = self.cpu_ratio
         eager_threshold = sim.cfg.eager_threshold
         ops = self.ops
         durs = self.durs
@@ -587,6 +607,7 @@ class _Simulation:
         cfg: MachineConfig,
         auditor: "InvariantAuditor | None" = None,
         insight=None,
+        pert=None,
     ):
         plan = _plan_for(trace)
         self.plan = plan
@@ -595,7 +616,15 @@ class _Simulation:
         self.unmatched = plan.unmatched
         self.cfg = cfg
         self.loop = EventLoop()
-        self.network = Network(self.loop, col.nranks, cfg)
+        #: Active perturbation schedule (None = pristine platform).
+        self.pert = pert
+        # The pristine path builds the plain Network — the perturbed
+        # arbiter exists only as a subclass, so disabling perturbation
+        # provably removes every perturbation branch from the replay.
+        self.network = (
+            Network(self.loop, col.nranks, cfg) if pert is None
+            else PerturbedNetwork(self.loop, col.nranks, cfg, pert)
+        )
         self.coll = _CollectiveSync(col.nranks, cfg, self.loop)
         self.auditor = auditor
         if auditor is not None:
@@ -643,6 +672,7 @@ def simulate(
     max_sim_time: float | None = None,
     audit=None,
     insight=None,
+    perturb=None,
 ) -> SimResult:
     """Replay ``trace`` on ``machine`` and reconstruct its timeline.
 
@@ -675,8 +705,27 @@ def simulate(
     Attribution never perturbs the simulation — an attributed replay is
     bitwise-identical to a plain one — and the ``insight=None`` default
     costs one dead branch on the blocking paths only.
+
+    ``perturb`` applies a :class:`repro.perturb.PerturbationSchedule`
+    (degraded bandwidth/latency windows, outages, CPU noise,
+    stragglers) in simulated time; it overrides any schedule carried by
+    ``machine.perturb``.  Perturbed replays are bitwise-reproducible
+    per schedule seed; with no (or a zero-magnitude) schedule the
+    replay uses the plain :class:`Network` and is bitwise-identical to
+    an unperturbed one.  A watchdog expiry while a perturbation window
+    is active raises the typed
+    :class:`~repro.dimemas.postmortem.PerturbationStall` naming the
+    window.
     """
     cfg = machine or MachineConfig()
+    pert = perturb if perturb is not None else cfg.perturb
+    if pert is not None:
+        # MachineConfig normalizes on construction; the explicit kwarg
+        # path normalizes here so both entrances agree that a no-op
+        # schedule *is* the pristine platform.
+        pert = pert.normalized()
+        if pert.is_noop():
+            pert = None
     acfg = auditor = None
     if audit is not None:
         # Imported lazily: repro.audit depends on this package for its
@@ -689,7 +738,7 @@ def simulate(
     t_begin = time.perf_counter()
     sp = _span("replay.simulate", nranks=trace.nranks)
     with sp:
-        sim = _Simulation(trace, cfg, auditor, insight)
+        sim = _Simulation(trace, cfg, auditor, insight, pert)
         for runner in sim.runners:
             sim.loop.at(0.0, runner.advance)
         budget_events = max_events if max_events is not None else cfg.max_events
@@ -706,9 +755,15 @@ def simulate(
                 sim.loop.run(max_events=budget_events, max_time=budget_time)
         except WatchdogExpired as w:
             metrics.counter("replay.watchdog_expired").inc()
-            raise SimulationTimeout(
-                w.reason, build_report(sim, sim.unmatched)
-            ) from None
+            report = build_report(sim, sim.unmatched)
+            if pert is not None:
+                window = pert.blocking_window(report.sim_time)
+                if window is not None:
+                    # A degraded platform legitimately stalling past the
+                    # budget is a diagnosis, not a runaway: name the
+                    # perturbation window instead of a bare timeout.
+                    raise PerturbationStall(w.reason, report, window) from None
+            raise SimulationTimeout(w.reason, report) from None
 
         if any(not r.finished for r in sim.runners) or sim.coll._groups:
             metrics.counter("replay.deadlocks").inc()

@@ -8,6 +8,8 @@
 * :mod:`repro.experiments.checkpoint` — crash-safe campaign journal,
   graceful drain, and resume;
 * :mod:`repro.experiments.tables` — Table II / Figure 5 data;
+* :mod:`repro.experiments.resilience` — fault-injection resilience
+  sweeps (how much overlap masks a degraded platform);
 * :mod:`repro.experiments.report` — the full paper-vs-measured report.
 """
 
@@ -49,6 +51,7 @@ from .tables import (
     pattern_row,
 )
 from .report import full_report
+from .resilience import ResilienceReport, ResilienceRow, resilience_sweep
 from .scaling import ScalePoint, ScalingStudy, scaling_study
 from .sweeps import SweepResult, ascii_series, bandwidth_sweep, latency_sweep
 
@@ -64,6 +67,7 @@ __all__ = [
     "equivalent_bandwidth", "expand_grid", "figure5_series", "full_report",
     "graceful_drain", "list_runs", "pattern_row", "point_key",
     "relaxation_bandwidth", "replay_journal", "saturation_knee",
+    "ResilienceReport", "ResilienceRow", "resilience_sweep",
     "ScalePoint", "ScalingStudy", "SimResultCache", "TraceCache",
     "scaling_study", "speedup_grid", "trace_digest",
     "SweepResult", "ascii_series", "bandwidth_sweep", "latency_sweep",

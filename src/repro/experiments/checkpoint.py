@@ -98,10 +98,12 @@ def point_key(point) -> str:
     """Versioned content digest of a grid point's full spec.
 
     Covers every field of the point — app, variant, scale, chunk
-    count, platform overrides, app parameters, and the machine config
-    itself — so no two distinct replays can alias one journal entry.
+    count, platform overrides (perturbation schedule included), app
+    parameters, and the machine config itself — so no two distinct
+    replays can alias one journal entry.
     """
     machine = point.machine
+    perturb = getattr(point, "perturb", None)
     return content_key(
         kind="grid_point",
         app=point.app,
@@ -113,6 +115,7 @@ def point_key(point) -> str:
         latency=point.latency,
         app_params=point.app_params,
         machine=None if machine is None else dataclasses.asdict(machine),
+        perturb=None if perturb is None else perturb.to_dict(),
     )
 
 

@@ -31,6 +31,7 @@ import hashlib
 import itertools
 import logging
 import os
+import random as _random
 import signal
 import tempfile
 import threading
@@ -89,7 +90,9 @@ class GridPoint:
     :meth:`~repro.experiments.pipeline.AppExperiment.simulate` keyword
     arguments (``"default"`` buses = keep the baseline).  ``machine``
     overrides the baseline platform itself; ``None`` uses the
-    application's paper test bed.
+    application's paper test bed.  ``perturb`` is an optional
+    :class:`~repro.perturb.PerturbationSchedule` applied at replay time
+    (degraded platform, same trace).
     """
 
     app: str
@@ -101,10 +104,12 @@ class GridPoint:
     latency: float | None = None
     app_params: tuple = ()
     machine: MachineConfig | None = None
+    perturb: object | None = None
 
     def experiment_key(self) -> tuple:
         """Identity of the underlying traced experiment (platform
-        overrides excluded — they share one trace)."""
+        overrides excluded — they share one trace; perturbation is a
+        replay-time platform override too)."""
         return (self.app, self.nranks, self.chunks, self.app_params, self.machine)
 
 
@@ -118,6 +123,7 @@ def expand_grid(
     nranks: int = 64,
     app_params: Mapping | None = None,
     machine: MachineConfig | None = None,
+    perturbs: Sequence[object | None] = (None,),
 ) -> list[GridPoint]:
     """Cartesian grid of points, in deterministic iteration order."""
     params = _normalize_params(app_params)
@@ -125,10 +131,10 @@ def expand_grid(
         GridPoint(
             app=a, variant=v, nranks=nranks, chunks=c,
             bandwidth_mbps=bw, buses=b, latency=lat,
-            app_params=params, machine=machine,
+            app_params=params, machine=machine, perturb=pert,
         )
-        for a, v, c, bw, b, lat in itertools.product(
-            apps, variants, chunks, bandwidths, buses, latencies
+        for a, v, c, bw, b, lat, pert in itertools.product(
+            apps, variants, chunks, bandwidths, buses, latencies, perturbs
         )
     ]
 
@@ -144,14 +150,19 @@ class RetryPolicy:
     ``max_attempts`` bounds how often one point is tried before it is
     quarantined; between attempts the engine sleeps
     ``backoff * backoff_factor ** (attempt - 1)`` seconds.
-    ``point_timeout`` (seconds of wall clock per in-flight point,
-    ``None`` = unlimited) converts a hung worker into a recoverable
-    failure: the pool is recycled and the point charged one attempt.
+    ``jitter`` (0..1) spreads that sleep uniformly over
+    ``[base * (1 - jitter), base]`` — full jitter at ``1.0`` — so
+    simultaneous failures (a recycled pool resubmitting every in-flight
+    point) do not retry in lockstep.  ``point_timeout`` (seconds of
+    wall clock per in-flight point, ``None`` = unlimited) converts a
+    hung worker into a recoverable failure: the pool is recycled and
+    the point charged one attempt.
     """
 
     max_attempts: int = 3
     backoff: float = 0.05
     backoff_factor: float = 2.0
+    jitter: float = 0.0
     point_timeout: float | None = None
 
     def __post_init__(self):
@@ -163,14 +174,24 @@ class RetryPolicy:
             raise ValueError(
                 f"backoff_factor must be >= 1, got {self.backoff_factor}"
             )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
         if self.point_timeout is not None and self.point_timeout <= 0:
             raise ValueError(
                 f"point_timeout must be positive, got {self.point_timeout}"
             )
 
-    def delay(self, attempt: int) -> float:
-        """Backoff (seconds) after failed attempt number ``attempt``."""
-        return self.backoff * self.backoff_factor ** (attempt - 1)
+    def delay(self, attempt: int, rng=None) -> float:
+        """Backoff (seconds) after failed attempt number ``attempt``.
+
+        With ``jitter`` and an ``rng`` (any object with ``random()``),
+        draws uniformly from ``[base * (1 - jitter), base]``; without
+        either, the exact exponential base.
+        """
+        base = self.backoff * self.backoff_factor ** (attempt - 1)
+        if self.jitter > 0.0 and rng is not None:
+            return base * (1.0 - self.jitter) + rng.random() * base * self.jitter
+        return base
 
 
 @dataclass(frozen=True)
@@ -299,6 +320,7 @@ def _simulate_point(point: GridPoint, cache_dir: str | None, store: dict) -> Sim
         bandwidth_mbps=point.bandwidth_mbps,
         buses=point.buses,
         latency=point.latency,
+        perturb=point.perturb,
     )
 
 
@@ -643,6 +665,9 @@ class ExperimentEngine:
         self.verify_sample = (
             min(1.0, max(0.0, float(verify_sample))) if verify_sample else 0.0
         )
+        #: Seeded RNG behind retry-backoff jitter: deterministic per
+        #: engine, never consulted when the policy has ``jitter == 0``.
+        self._retry_rng = _random.Random(0)
         #: One dict per determinism-verification mismatch this engine
         #: caught (point identity, expected/actual digest, source).
         self.verify_mismatches: list[dict] = []
@@ -768,7 +793,7 @@ class ExperimentEngine:
         exp = _resolve_experiment(point, self.cache_dir, self._experiments)
         cfg = exp.platform(
             bandwidth_mbps=point.bandwidth_mbps, buses=point.buses,
-            latency=point.latency,
+            latency=point.latency, perturb=point.perturb,
         )
         trace = exp.trace(point.variant)
         with _span("engine.verify_point", app=point.app,
@@ -919,7 +944,8 @@ class ExperimentEngine:
                         with_trace_cache=False,
                     )
                 cfg = exp.platform(
-                    point.bandwidth_mbps, point.buses, point.latency
+                    point.bandwidth_mbps, point.buses, point.latency,
+                    point.perturb,
                 )
                 digest = store.put(exp.columnar(point.variant))
             except Exception:  # noqa: BLE001 - worker will attribute it
@@ -965,12 +991,12 @@ class ExperimentEngine:
                 if mode == "duration":
                     hit = exp.cached_duration(
                         p.variant, bandwidth_mbps=p.bandwidth_mbps,
-                        buses=p.buses, latency=p.latency,
+                        buses=p.buses, latency=p.latency, perturb=p.perturb,
                     )
                 else:
                     hit = exp.cached_result(
                         p.variant, bandwidth_mbps=p.bandwidth_mbps,
-                        buses=p.buses, latency=p.latency,
+                        buses=p.buses, latency=p.latency, perturb=p.perturb,
                     )
             if hit is not None:
                 hit = self._maybe_verify(p, mode, hit, "cache")
@@ -1087,7 +1113,7 @@ class ExperimentEngine:
                    tb: str = "") -> None:
             history.setdefault(slot, []).append((kind, elapsed, error))
             if attempt < retry.max_attempts and not self._drain.is_set():
-                delay = retry.delay(attempt)
+                delay = retry.delay(attempt, self._retry_rng)
                 _log.warning(
                     "grid point %s/%s failed (%s, attempt %d/%d): %s; "
                     "retrying in %.3fs",

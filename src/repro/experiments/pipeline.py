@@ -112,8 +112,15 @@ class AppExperiment:
         bandwidth_mbps: float | None = None,
         buses: int | None | str = "default",
         latency: float | None = None,
+        perturb: object | None = None,
     ) -> MachineConfig:
-        """The baseline machine with the standard experiment overrides."""
+        """The baseline machine with the standard experiment overrides.
+
+        ``perturb`` attaches a
+        :class:`~repro.perturb.PerturbationSchedule` to the platform;
+        because it becomes a :class:`MachineConfig` field, every cache
+        key and checkpoint identity downstream picks it up for free.
+        """
         overrides: dict = {}
         if bandwidth_mbps is not None:
             overrides["bandwidth_mbps"] = bandwidth_mbps
@@ -121,6 +128,8 @@ class AppExperiment:
             overrides["buses"] = buses
         if latency is not None:
             overrides["latency"] = latency
+        if perturb is not None:
+            overrides["perturb"] = perturb
         return self.machine.with_platform(**overrides)
 
     _platform = platform
@@ -151,9 +160,10 @@ class AppExperiment:
         bandwidth_mbps: float | None = None,
         buses: int | None | str = "default",
         latency: float | None = None,
+        perturb: object | None = None,
     ) -> SimResult:
         """Replay a variant on a (possibly modified) platform."""
-        cfg = self._platform(bandwidth_mbps, buses, latency)
+        cfg = self._platform(bandwidth_mbps, buses, latency, perturb)
         # Keyed on the *full* platform so two configs differing in any
         # machine field (ports, cpu_ratio, eager threshold, ...) never
         # alias to the same memoized result.
@@ -173,6 +183,7 @@ class AppExperiment:
         bandwidth_mbps: float | None = None,
         buses: int | None | str = "default",
         latency: float | None = None,
+        perturb: object | None = None,
     ) -> SimResult | None:
         """This replay's result *if it needs no work*, else None.
 
@@ -182,7 +193,7 @@ class AppExperiment:
         short-circuit warm grid points in the parent process instead of
         dispatching them to workers.
         """
-        cfg = self._platform(bandwidth_mbps, buses, latency)
+        cfg = self._platform(bandwidth_mbps, buses, latency, perturb)
         key = (variant, cfg)
         hit = self._sims.get(key)
         if hit is not None or self.sim_cache is None:
@@ -201,6 +212,7 @@ class AppExperiment:
         bandwidth_mbps: float | None = None,
         buses: int | None | str = "default",
         latency: float | None = None,
+        perturb: object | None = None,
     ) -> float | None:
         """This replay's makespan *if it needs no work*, else None.
 
@@ -208,7 +220,7 @@ class AppExperiment:
         is one sidecar line instead of the full result envelope, which
         is what duration-mode grid sweeps actually consume.
         """
-        cfg = self._platform(bandwidth_mbps, buses, latency)
+        cfg = self._platform(bandwidth_mbps, buses, latency, perturb)
         hit = self._sims.get((variant, cfg))
         if hit is not None:
             return hit.duration

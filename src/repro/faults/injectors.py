@@ -188,11 +188,12 @@ def truncate_rank(trace: TraceSet, seed: int = 0) -> tuple[TraceSet, Fault]:
     cut = rng.randrange(1, len(records))
     mutant = _clone(trace)
     removed = len(records) - cut
+    first_removed = type(records[cut]).__name__
     del _records(mutant, rank)[cut:]
     mutant[rank].invalidate()
     return mutant, Fault(
         kind="truncate", rank=rank, index=cut, seed=seed,
-        details={"removed": removed},
+        details={"removed": removed, "record": first_removed},
     )
 
 
@@ -212,15 +213,18 @@ def skew_timestamps(trace: TraceSet, seed: int = 0) -> tuple[TraceSet, Fault]:
     factor = 0.5 + 1.5 * rng.random()
     mutant = _clone(trace)
     first = None
+    scaled = 0
     for i, rec in enumerate(_records(mutant, rank)):
         if isinstance(rec, CpuBurst):
             rec.duration *= factor
+            scaled += 1
             if first is None:
                 first = i
     mutant[rank].invalidate()
     return mutant, Fault(
         kind="skew", rank=rank, index=first if first is not None else 0,
-        seed=seed, details={"factor": factor},
+        seed=seed,
+        details={"factor": factor, "record": "CpuBurst", "bursts": scaled},
     )
 
 

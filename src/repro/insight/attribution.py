@@ -17,6 +17,12 @@ timeline of the transfer whose completion released it::
   blocked it when it was enqueued;
 * **transfer** — in-flight wire occupancy plus latency: irreducible at
   this bandwidth, but *hideable* behind computation by overlap;
+* **perturbation** — the slice of blocked time an injected platform
+  fault caused: the seconds a degraded-bandwidth window, outage, or
+  latency spike added beyond the transfer's pristine wire time
+  (reported per transfer by the perturbed network), plus any time a
+  transfer sat queued because an outage forbade starts.  Absent on an
+  unperturbed replay;
 * **collective** — group-communication synchronization;
 * **unresolved** — a blocked interval with no releasing transfer
   (malformed traces; complete replays never produce one).
@@ -51,6 +57,7 @@ CAUSES = (
     "injection_port",
     "endpoint_port",
     "transfer",
+    "perturbation",
     "collective",
     "unresolved",
 )
@@ -58,8 +65,11 @@ CAUSES = (
 #: Causes a perfect overlap transformation could hide behind compute
 #: (resource pressure and in-flight time); structural dependencies and
 #: collective synchronization are not hideable at the MPI-call level.
+#: Perturbation-injected delay is wire time like any other — overlap
+#: can mask it, which is exactly what the resilience index measures.
 HIDEABLE_CAUSES = frozenset(
-    {"bus_contention", "injection_port", "endpoint_port", "transfer"}
+    {"bus_contention", "injection_port", "endpoint_port", "transfer",
+     "perturbation"}
 )
 
 _EPS = 1e-15
@@ -89,11 +99,21 @@ def classify_wait(
     transfers: tuple,
     queue_cause: dict[int, str],
     rank: int,
+    perturb_excess: dict[int, float] | None = None,
 ) -> list[WaitSegment]:
     """Split one blocked interval ``[t0, t1]`` into cause segments.
 
     ``transfers`` are the transfers the rank was blocked on; the one
     arriving last released the block and defines the decomposition.
+
+    ``perturb_excess`` (``id(transfer) -> seconds``, from a perturbed
+    replay's collector) carves the fault-injected share out of the
+    tail of the in-flight phase: the releasing transfer arrived
+    ``excess`` seconds later than it would have on the pristine
+    platform, so exactly that much of the blocked tail — clamped to
+    the in-flight phase — is attributed to ``perturbation`` instead of
+    ``transfer``.  The cut points still tile ``[t0, t1]``, so per-rank
+    conservation is untouched.
     """
     if label == "Group communication":
         return [WaitSegment(rank, "collective", t0, t1, label)]
@@ -126,7 +146,13 @@ def classify_wait(
         emit("late_sender", t0, send)
         emit("dependency_chain", send, ready)
     emit(queue_cause.get(id(tr), "bus_contention"), ready, start)
-    emit("transfer", start, t1)
+    excess = perturb_excess.get(id(tr), 0.0) if perturb_excess else 0.0
+    if excess > _EPS:
+        cut = max(start, t1 - excess)
+        emit("transfer", start, cut)
+        emit("perturbation", cut, t1)
+    else:
+        emit("transfer", start, t1)
     if not segments:
         # Degenerate interval narrower than every cut: keep the sum
         # invariant by attributing the whole span to the last phase.
@@ -219,7 +245,8 @@ def attribute(result: SimResult, collector: InsightCollector) -> WaitAttribution
     segments: list[WaitSegment] = []
     for rank, label, t0, t1, trs in collector.waits:
         for seg in classify_wait(label, t0, t1, trs,
-                                 collector.queue_cause, rank):
+                                 collector.queue_cause, rank,
+                                 collector.perturb_excess):
             per_rank[rank][seg.cause] += seg.span
             segments.append(seg)
     segments.sort(key=lambda s: (s.t0, s.rank))

@@ -45,7 +45,7 @@ class InsightCollector:
     """
 
     __slots__ = ("waits", "queue_cause", "occupancy", "queued_peak",
-                 "queued_total")
+                 "queued_total", "perturb_excess")
 
     def __init__(self) -> None:
         #: Raw wait intervals ``(rank, state_label, t0, t1, transfers)``
@@ -64,6 +64,12 @@ class InsightCollector:
         self.queued_peak = 0
         #: Total number of transfers that had to queue.
         self.queued_total = 0
+        #: ``id(transfer) -> seconds`` a platform perturbation added to
+        #: that transfer beyond its pristine wire time (degraded
+        #: bandwidth, stalled/restarted outages, latency spikes).
+        #: Filled by :class:`~repro.dimemas.network.PerturbedNetwork`;
+        #: empty on an unperturbed replay.
+        self.perturb_excess: dict[int, float] = {}
 
     # -- replay-side hook ------------------------------------------------- #
     def record_wait(self, rank: int, label: str, t0: float, t1: float,
@@ -81,6 +87,13 @@ class InsightCollector:
         self.queued_total += 1
         if queued > self.queued_peak:
             self.queued_peak = queued
+
+    def note_perturbed(self, transfer: "Transfer", seconds: float) -> None:
+        """``transfer`` took ``seconds`` longer than on the pristine
+        platform (may fire more than once per transfer — wire excess at
+        start, latency excess at delivery; contributions accumulate)."""
+        key = id(transfer)
+        self.perturb_excess[key] = self.perturb_excess.get(key, 0.0) + seconds
 
     def note_start(self, t: float, active: int, queued: int) -> None:
         self.occupancy.append((t, active, queued))

@@ -32,6 +32,7 @@ _CAUSE_SHORT = {
     "injection_port": "port-out",
     "endpoint_port": "port-in",
     "transfer": "transfer",
+    "perturbation": "perturb",
     "collective": "collectiv",
     "unresolved": "unresolv",
 }

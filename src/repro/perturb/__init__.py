@@ -1,0 +1,32 @@
+"""Deterministic platform perturbations applied in simulated time.
+
+Pure data + pure math: schedules (:mod:`repro.perturb.schedule`) and
+named scenario builders (:mod:`repro.perturb.scenarios`).  The replay
+integration lives in ``repro.dimemas`` (``PerturbedNetwork``, the
+``perturb=`` argument of ``simulate``); the sweep/reporting layer in
+``repro.experiments.resilience``.
+"""
+
+from .schedule import (
+    BandwidthWindow,
+    CpuNoise,
+    LatencyWindow,
+    OutageWindow,
+    PerturbationSchedule,
+    Straggler,
+    unit_hash,
+)
+from .scenarios import SCENARIO_KINDS, build_scenario, default_scenarios
+
+__all__ = [
+    "BandwidthWindow",
+    "CpuNoise",
+    "LatencyWindow",
+    "OutageWindow",
+    "PerturbationSchedule",
+    "SCENARIO_KINDS",
+    "Straggler",
+    "build_scenario",
+    "default_scenarios",
+    "unit_hash",
+]

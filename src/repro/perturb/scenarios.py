@@ -1,0 +1,99 @@
+"""Named perturbation scenarios scaled to a run's time horizon.
+
+A schedule's windows live in absolute simulated seconds, so a useful
+scenario must know roughly how long the unperturbed run takes — the
+*horizon*.  Each builder here takes that horizon (typically the
+baseline duration measured first by the resilience sweep) and places
+its windows proportionally inside it, so the same scenario name means
+the same *relative* degradation for a 50 ms kernel and a 40 s
+production run.
+
+The registry (:data:`SCENARIO_KINDS`, :func:`build_scenario`) is what
+``repro-resilience --scenarios`` and ``repro-explain --perturb`` parse.
+"""
+
+from __future__ import annotations
+
+from .schedule import (
+    BandwidthWindow,
+    CpuNoise,
+    LatencyWindow,
+    OutageWindow,
+    PerturbationSchedule,
+    Straggler,
+)
+
+__all__ = ["SCENARIO_KINDS", "build_scenario", "default_scenarios"]
+
+
+def bandwidth_sag(horizon: float, seed: int = 0) -> PerturbationSchedule:
+    """Bandwidth drops to 25% for the middle half of the run."""
+    return PerturbationSchedule(
+        seed=seed,
+        bandwidth=(BandwidthWindow(0.25 * horizon, 0.75 * horizon, 0.25),),
+    )
+
+
+def latency_spike(horizon: float, seed: int = 0) -> PerturbationSchedule:
+    """Two windows of sharply increased per-message latency."""
+    extra = max(horizon * 0.001, 1e-4)
+    return PerturbationSchedule(
+        seed=seed,
+        latency=(
+            LatencyWindow(0.10 * horizon, 0.30 * horizon, extra),
+            LatencyWindow(0.60 * horizon, 0.80 * horizon, extra),
+        ),
+    )
+
+
+def outage_stall(horizon: float, seed: int = 0) -> PerturbationSchedule:
+    """Link down for 10% of the run; in-flight transfers stall/resume."""
+    return PerturbationSchedule(
+        seed=seed,
+        outages=(OutageWindow(0.40 * horizon, 0.50 * horizon, "stall"),),
+    )
+
+
+def outage_restart(horizon: float, seed: int = 0) -> PerturbationSchedule:
+    """Link down for 10% of the run; in-flight transfers restart."""
+    return PerturbationSchedule(
+        seed=seed,
+        outages=(OutageWindow(0.40 * horizon, 0.50 * horizon, "restart"),),
+    )
+
+
+def cpu_noise(horizon: float, seed: int = 0) -> PerturbationSchedule:
+    """OS jitter: every compute burst stretched by up to 15%."""
+    return PerturbationSchedule(seed=seed, cpu_noise=(CpuNoise(0.15),))
+
+
+def straggler(horizon: float, seed: int = 0) -> PerturbationSchedule:
+    """Rank 0 computes at two-thirds speed for the whole run."""
+    return PerturbationSchedule(seed=seed, stragglers=(Straggler(0, 1.5),))
+
+
+SCENARIO_KINDS: dict[str, object] = {
+    "bandwidth-sag": bandwidth_sag,
+    "latency-spike": latency_spike,
+    "outage-stall": outage_stall,
+    "outage-restart": outage_restart,
+    "cpu-noise": cpu_noise,
+    "straggler": straggler,
+}
+
+
+def build_scenario(kind: str, horizon: float, seed: int = 0) -> PerturbationSchedule:
+    """Build the named scenario scaled to ``horizon`` seconds."""
+    try:
+        builder = SCENARIO_KINDS[kind]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIO_KINDS))
+        raise ValueError(f"unknown scenario {kind!r} (known: {known})") from None
+    if not horizon > 0:
+        raise ValueError(f"scenario horizon must be > 0, got {horizon}")
+    return builder(horizon, seed)
+
+
+def default_scenarios(horizon: float, seed: int = 0) -> dict[str, PerturbationSchedule]:
+    """All named scenarios scaled to ``horizon``, keyed by kind."""
+    return {kind: build_scenario(kind, horizon, seed) for kind in SCENARIO_KINDS}

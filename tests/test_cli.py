@@ -129,3 +129,68 @@ class TestAnalyzeCommand:
         main_simulate([str(traced_file), "--json", str(path)])
         parsed = json.loads(path.read_text())
         assert parsed["nranks"] == 4 and parsed["duration"] > 0
+
+
+class TestInterruptUniformity:
+    """Every entry point maps Ctrl-C to the conventional 128+SIGINT
+    exit status (130), never a stack trace (docs/ROBUSTNESS.md §6)."""
+
+    ENTRY_POINTS = (
+        "main_trace", "main_overlap", "main_simulate", "main_analyze",
+        "main_explain", "main_resilience", "main_report", "main_verify",
+    )
+
+    @pytest.mark.parametrize("name", ENTRY_POINTS)
+    def test_sigint_exits_130(self, name, monkeypatch, capsys):
+        import argparse
+
+        from repro import cli
+
+        def interrupt(self, *args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(argparse.ArgumentParser, "parse_args",
+                            interrupt)
+        assert getattr(cli, name)([]) == cli.EXIT_INTERRUPTED == 130
+        assert "interrupted" in capsys.readouterr().err
+
+
+class TestResilienceCommand:
+    def test_list_scenarios(self, capsys):
+        from repro.cli import main_resilience
+        assert main_resilience(["--list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        for kind in ("bandwidth-sag", "latency-spike", "outage-stall",
+                     "outage-restart", "cpu-noise", "straggler"):
+            assert kind in out
+
+    def test_unknown_inputs_rejected(self, capsys):
+        from repro.cli import main_resilience
+        with pytest.raises(SystemExit) as ei:
+            main_resilience(["nosuchapp"])
+        assert ei.value.code == 2
+        with pytest.raises(SystemExit):
+            main_resilience(["cg", "--scenarios", "meteor"])
+
+    def test_end_to_end_json(self, tmp_path, capsys):
+        import json as _json
+        import sys as _sys
+        from pathlib import Path as _Path
+
+        from repro.cli import main_resilience
+        out = tmp_path / "resilience.json"
+        rc = main_resilience(["cg", "-n", "4", "--chunks", "2",
+                              "--scenarios", "straggler",
+                              "--json", str(out)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "straggler" in text and "resilience" in text.lower()
+        doc = _json.loads(out.read_text())
+        assert doc["schema"] == "repro-resilience/1"
+        _sys.path.insert(0, str(
+            _Path(__file__).resolve().parent.parent / "tools"))
+        from validate_schema import validate
+        schema = _json.loads((
+            _Path(__file__).resolve().parent.parent
+            / "docs/schema/repro-resilience.schema.json").read_text())
+        assert validate(doc, schema) == []

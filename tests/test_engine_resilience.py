@@ -70,6 +70,35 @@ class TestRetryPolicy:
         assert p.delay(1) == pytest.approx(0.1)
         assert p.delay(3) == pytest.approx(0.4)
 
+    def test_jitter_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+    def test_full_jitter_sleeps_inside_the_backoff_band(self):
+        import random
+
+        p = RetryPolicy(backoff=0.1, backoff_factor=2.0, jitter=0.5)
+        rng = random.Random(0)
+        for attempt, base in ((1, 0.1), (2, 0.2), (3, 0.4)):
+            draws = [p.delay(attempt, rng) for _ in range(50)]
+            lo, hi = base * 0.5, base
+            assert all(lo <= d <= hi for d in draws), (attempt, draws)
+            assert max(draws) - min(draws) > 0.0  # actually jittered
+
+    def test_jitter_deterministic_per_seed_and_off_without_rng(self):
+        import random
+
+        p = RetryPolicy(backoff=0.1, jitter=1.0)
+        a = [p.delay(1, random.Random(7)) for _ in range(3)]
+        b = [p.delay(1, random.Random(7)) for _ in range(3)]
+        assert a == b
+        # No rng (or jitter=0) degrades to the plain exponential delay.
+        assert p.delay(1) == pytest.approx(0.1)
+        assert RetryPolicy(backoff=0.1).delay(
+            1, random.Random(7)) == pytest.approx(0.1)
+
 
 class TestWorkerFailures:
     def test_worker_exception_is_retried(self, monkeypatch, tmp_path,

@@ -7,6 +7,7 @@ from repro.experiments.cache import SimResultCache, TraceCache, trace_digest
 from repro.experiments.pipeline import AppExperiment
 from repro.dimemas.machine import MachineConfig
 from repro.dimemas.replay import simulate
+from repro.perturb import BandwidthWindow, PerturbationSchedule
 from repro.trace import dim
 
 
@@ -178,6 +179,9 @@ class TestSimResultCache:
             intra_latency=2e-6, intra_bandwidth_mbps=1000.0,
             eager_threshold=1024, collective_model_factor=2.0,
             max_events=1_000_000, max_sim_time=3600.0,
+            perturb=PerturbationSchedule(
+                bandwidth=(BandwidthWindow(0.0, 1.0, 0.5),)
+            ),
         )
         # the variation list covers the whole platform: adding a new
         # MachineConfig knob must extend this test

@@ -267,8 +267,8 @@ class TestClassify:
     def test_cause_vocabulary_closed(self):
         assert set(CAUSES) == {
             "late_sender", "dependency_chain", "bus_contention",
-            "injection_port", "endpoint_port", "transfer", "collective",
-            "unresolved",
+            "injection_port", "endpoint_port", "transfer", "perturbation",
+            "collective", "unresolved",
         }
         seg = WaitSegment(0, "transfer", 0.0, 1.0, "Send")
         assert seg.span == 1.0

@@ -1,0 +1,128 @@
+"""Property-based perturbation contracts (hypothesis).
+
+Two contracts the fault-injection layer must hold for *every* input,
+explored with hypothesis instead of hand-picked cases:
+
+* **Zero-magnitude is the pristine platform** — any schedule made of
+  factor-1.0 bandwidth windows, zero-extra latency windows,
+  zero-amplitude noise, and factor-1.0 stragglers (empty schedules
+  included) replays every application skeleton bitwise-identically to
+  an unperturbed replay, whatever the seed or window placement;
+* **Seeded determinism, independent of process count** — the
+  resilience sweep's ``result_digest`` is a pure function of its
+  inputs: repeating the sweep, and running it through a 2-worker pool
+  instead of serially, reproduce the digest exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dimemas.machine import MachineConfig
+from repro.dimemas.replay import simulate
+from repro.experiments import AppExperiment, ExperimentEngine
+from repro.experiments.resilience import resilience_sweep
+from repro.perturb import (
+    BandwidthWindow,
+    CpuNoise,
+    LatencyWindow,
+    PerturbationSchedule,
+    Straggler,
+)
+
+APPS_POOL = ("sweep3d", "pop", "alya", "specfem3d", "bt", "cg")
+
+_SETTINGS = settings(max_examples=15, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+#: (trace, machine, baseline result) per app, traced once per session.
+_BASELINES: dict[str, tuple] = {}
+
+
+def _baseline(app: str):
+    if app not in _BASELINES:
+        trace = AppExperiment(app, nranks=4).trace("original")
+        machine = MachineConfig.paper_testbed(app)
+        _BASELINES[app] = (trace, machine, simulate(trace, machine))
+    return _BASELINES[app]
+
+
+def _same(a, b) -> bool:
+    return (a.duration == b.duration
+            and a.states == b.states
+            and [(m.src, m.dst, m.size, m.t_send, m.t_recv)
+                 for m in a.messages]
+            == [(m.src, m.dst, m.size, m.t_send, m.t_recv)
+                for m in b.messages])
+
+
+@st.composite
+def noop_schedules(draw) -> PerturbationSchedule:
+    """Schedules whose every ingredient has zero magnitude.
+
+    Window bounds are drawn freely (disjoint by construction: each
+    group's windows are laid out left to right), seeds are arbitrary —
+    nothing here may influence a replay.
+    """
+    seed = draw(st.integers(min_value=0, max_value=2**63 - 1))
+
+    def windows(make):
+        out, t = [], 0.0
+        for _ in range(draw(st.integers(0, 2))):
+            t0 = t + draw(st.floats(0.0, 1.0, allow_nan=False))
+            t1 = t0 + draw(st.floats(1e-6, 1.0, allow_nan=False))
+            out.append(make(t0, t1))
+            t = t1
+        return tuple(out)
+
+    noise = ()
+    if draw(st.booleans()):
+        ranks = draw(st.one_of(
+            st.none(), st.sets(st.integers(0, 3), max_size=3).map(tuple)))
+        noise = (CpuNoise(0.0, ranks=ranks),)
+    stragglers = ()
+    if draw(st.booleans()):
+        stragglers = (Straggler(draw(st.integers(0, 3)), 1.0),)
+    return PerturbationSchedule(
+        seed=seed,
+        bandwidth=windows(lambda t0, t1: BandwidthWindow(t0, t1, 1.0)),
+        latency=windows(lambda t0, t1: LatencyWindow(t0, t1, 0.0)),
+        cpu_noise=noise,
+        stragglers=stragglers,
+    )
+
+
+class TestZeroMagnitudeIdentity:
+    @_SETTINGS
+    @given(app=st.sampled_from(APPS_POOL), sched=noop_schedules())
+    def test_noop_schedule_is_bitwise_baseline(self, app, sched):
+        trace, machine, base = _baseline(app)
+        assert sched.normalized().is_noop()
+        assert _same(base, simulate(trace, machine, perturb=sched))
+        # Carried by the machine, the schedule collapses to the very
+        # same (pristine) platform object state: equal cache identity.
+        assert machine.with_platform(perturb=sched) == machine
+
+
+class TestSeededDigestDeterminism:
+    @pytest.fixture(scope="class")
+    def pool_engine(self):
+        with ExperimentEngine(jobs=2) as engine:
+            yield engine
+
+    @settings(max_examples=4, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+           kind=st.sampled_from(("straggler", "cpu-noise", "latency-spike")))
+    def test_digest_stable_across_runs_and_job_counts(
+            self, pool_engine, seed, kind):
+        kwargs = dict(scenarios=[kind], seed=seed, nranks=4, chunks=2)
+        serial_a = resilience_sweep(["cg"], **kwargs)
+        serial_b = resilience_sweep(["cg"], **kwargs)
+        pooled = resilience_sweep(["cg"], engine=pool_engine, **kwargs)
+        assert serial_a.result_digest() == serial_b.result_digest()
+        assert serial_a.result_digest() == pooled.result_digest()
